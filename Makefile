@@ -1,0 +1,48 @@
+# tsqrcp — build/test/reproduce targets (stdlib-only Go; no external deps)
+
+GO ?= go
+
+.PHONY: all build vet test race bench cover repro repro-paper examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark per paper figure/table plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Full reproduction report at reduced scale (~30 s on a laptop).
+repro:
+	$(GO) run ./cmd/report -o report.txt
+	@echo "wrote report.txt"
+
+# The paper's exact problem sizes (long-running).
+repro-paper:
+	$(GO) run ./cmd/report -paper -o report-paper.txt
+	@echo "wrote report-paper.txt"
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/lowrank
+	$(GO) run ./examples/rankreveal
+	$(GO) run ./examples/distributed
+	$(GO) run ./examples/tensortrain
+	$(GO) run ./examples/polyfit
+	$(GO) run ./examples/spectral
+
+clean:
+	rm -f report.txt report-paper.txt test_output.txt bench_output.txt

@@ -1,0 +1,71 @@
+package tsqrcp_test
+
+// Application-layer benchmarks: the downstream workloads from the paper's
+// introduction, all running on the library's pivoted-QR engine.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/hmatrix"
+	"repro/mat"
+	"repro/subspace"
+	"repro/testmat"
+)
+
+func appBenchMatrix(m, n, r int, sigma float64) *mat.Dense {
+	rng := rand.New(rand.NewSource(12345))
+	return testmat.Generate(rng, m, n, r, sigma)
+}
+
+// BenchmarkApplicationHMatrix — H-matrix compression of a kernel matrix
+// (the intro's H-matrix workload): thousands of truncated pivoted QRs.
+func BenchmarkApplicationHMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(55))
+	pts := make([]float64, 1000)
+	for i := range pts {
+		pts[i] = rng.Float64()
+	}
+	sort.Float64s(pts)
+	kern := func(x, y float64) float64 {
+		d := x - y
+		return math.Exp(-4 * d * d)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := hmatrix.Build(pts, pts, kern, &hmatrix.Options{Tol: 1e-8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := h.Stats(); st.LowRankBlocks == 0 {
+			b.Fatal("no compression")
+		}
+	}
+}
+
+// BenchmarkApplicationSymEigs — subspace iteration with pivoted-QR-backed
+// orthonormalization (the intro's eigenproblem workload).
+func BenchmarkApplicationSymEigs(b *testing.B) {
+	lap := subspace.PathLaplacian(2000)
+	rng := rand.New(rand.NewSource(56))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := subspace.SymEigs(lap, 4, &subspace.EigOptions{Iterations: 30, Rng: rng}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplicationRandSVD — randomized truncated SVD on the QR engine.
+func BenchmarkApplicationRandSVD(b *testing.B) {
+	a := appBenchMatrix(8000, 64, 51, 1e-6)
+	rng := rand.New(rand.NewSource(57))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := subspace.RandSVD(a, 16, 2, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestComparators(t *testing.T) {
+	rows := Comparators(9, 1500, 20, 16, 1e-8, 1)
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]ComparatorRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	for _, name := range []string{"Ite-CholQR-CP", "HQR-CP", "QR+QRCP(TSQR)", "QR+QRCP(sChQR3)"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if r.Failed {
+			t.Fatalf("%s failed", name)
+		}
+		if r.Orth > 1e-12 || r.Resid > 1e-12 {
+			t.Fatalf("%s: orth=%g resid=%g", name, r.Orth, r.Resid)
+		}
+		// Deterministic methods must agree with HQR-CP pivots (§V).
+		if !r.PivotsAgree {
+			t.Fatalf("%s: pivots disagree with HQR-CP", name)
+		}
+	}
+	// RandQRCP must be accurate; pivot agreement is not guaranteed.
+	rr := byName["RandQRCP"]
+	if rr.Failed || rr.Orth > 1e-12 || rr.Resid > 1e-12 {
+		t.Fatalf("RandQRCP: %+v", rr)
+	}
+	var buf bytes.Buffer
+	PrintComparators(&buf, rows)
+	if !strings.Contains(buf.String(), "pivots=HQR-CP") {
+		t.Fatal("printer output incomplete")
+	}
+}

@@ -1,0 +1,109 @@
+// Command accuracy reproduces the accuracy experiments of the paper:
+// the preliminary Chol-CP pivot studies (Fig. 1), the four-metric
+// comparison against Householder QRCP (Fig. 2), and the per-iteration
+// pivot-correctness strips (Fig. 3).
+//
+// Usage:
+//
+//	accuracy -fig 1a            # single-matrix pivot comparison
+//	accuracy -fig 1b            # outcomes across condition numbers
+//	accuracy -fig 1c -count 1000
+//	accuracy -fig 2             # accuracy metrics sweep
+//	accuracy -fig 3             # pivot correctness, ε = 1e-5 and ε = 0
+//	accuracy -fig all -paper    # everything at full paper scale
+//
+// By default a reduced problem size is used so everything finishes in
+// seconds; -paper selects the exact sizes of the paper (m = 10000,
+// n = 50, r = 40, 1000 Monte-Carlo matrices).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to reproduce: 1a, 1b, 1c, 2, 3, all")
+		paper = flag.Bool("paper", false, "use the paper's full problem sizes")
+		count = flag.Int("count", 0, "Monte-Carlo matrices for fig 1c (0 = default)")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	m, n, r := 2000, 30, 24
+	mcCount, mcN := 100, 24
+	if *paper {
+		m, n, r = bench.AccuracyShape.M, bench.AccuracyShape.N, bench.AccuracyShape.R
+		mcCount, mcN = 1000, 40
+	}
+	if *count > 0 {
+		mcCount = *count
+	}
+
+	sigmas := []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 1e-14}
+
+	run1a := func() {
+		recs := bench.Fig1a(*seed, m, n, r, 1e-12)
+		bench.PrintFig1a(os.Stdout, recs)
+		fmt.Println()
+	}
+	run1b := func() {
+		kappas := []float64{1, 1e2, 1e4, 1e6, 1e8, 1e10, 1e12, 1e14, 1e16}
+		rows := bench.Fig1b(*seed, m, n, kappas)
+		fmt.Println("Fig 1(b): Chol-CP pivot outcomes across condition numbers")
+		for _, row := range rows {
+			fmt.Printf("  κ=%-8.0e ", row.Kappa)
+			for _, rec := range row.Records {
+				fmt.Printf("%s", rec.Outcome)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	run1c := func() {
+		st := bench.Fig1c(*seed, mcCount, m, mcN)
+		bench.PrintFig1c(os.Stdout, st)
+		fmt.Println()
+	}
+	run2 := func() {
+		rows := bench.Fig2(*seed, m, n, r, sigmas)
+		bench.PrintFig2(os.Stdout, rows)
+		fmt.Println()
+	}
+	run3 := func() {
+		for _, eps := range []float64{1e-5, 0} {
+			rows := bench.Fig3(*seed, m, n, r, sigmas, eps)
+			bench.PrintFig3(os.Stdout, rows)
+			if eps == 1e-5 {
+				fmt.Printf("  all essential pivots correct: %v (paper: true)\n", bench.AllPivotsCorrect(rows))
+			}
+			fmt.Println()
+		}
+	}
+
+	switch *fig {
+	case "1a":
+		run1a()
+	case "1b":
+		run1b()
+	case "1c":
+		run1c()
+	case "2":
+		run2()
+	case "3":
+		run3()
+	case "all":
+		run1a()
+		run1b()
+		run1c()
+		run2()
+		run3()
+	default:
+		fmt.Fprintf(os.Stderr, "accuracy: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}

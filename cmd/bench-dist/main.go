@@ -1,0 +1,87 @@
+// Command bench-dist reproduces the distributed-parallel evaluation of
+// the paper (Figs. 6–8 and Table III) in two complementary ways:
+//
+//  1. Measured: the distributed algorithms run for real on P goroutine
+//     ranks over the in-process communicator, validating correctness,
+//     collective counts and the comp/comm split at laptop scale.
+//  2. Modeled: the α-β machine models (OBCX: Intel + Omni-Path;
+//     BDEC-O: A64FX + Tofu-D) extrapolate to the paper's m = 2²⁴ and
+//     P up to 16 384, where the latency-bound regime makes the
+//     communication-avoiding property decisive.
+//
+// Usage:
+//
+//	bench-dist                       # measured small-scale + OBCX model
+//	bench-dist -system bdeco         # BDEC-O model (shows the Fig. 8 cliff)
+//	bench-dist -fig 8                # communication-time-vs-n series
+//	bench-dist -table 3              # Table III breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/bench"
+	"repro/dist"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "obcx", "machine model: obcx or bdeco")
+		fig      = flag.String("fig", "67", "67 (scaling), 8 (comm vs n), or all")
+		table    = flag.Int("table", 0, "3 prints the Table III breakdown")
+		measured = flag.Bool("measured", true, "run the real goroutine-rank measurement")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var mc dist.Machine
+	var ps, psT3 []int
+	switch *system {
+	case "obcx":
+		mc = dist.OBCX
+		ps = []int{16, 64, 256, 1024, 2048}
+		psT3 = []int{16, 2048} // 8 and 1024 nodes × 2 processes
+	case "bdeco":
+		mc = dist.BDECO
+		ps = []int{32, 128, 512, 4096, 16384}
+		psT3 = []int{128, 16384} // 32 and 4096 nodes × 4 processes
+	default:
+		fmt.Fprintf(os.Stderr, "bench-dist: unknown -system %q\n", *system)
+		os.Exit(2)
+	}
+	ns := []int{16, 32, 64, 128, 256, 512, 1024}
+	const iters = 3 // pivoting iterations observed for σ = 1e-12
+
+	if *measured {
+		fmt.Println("== measured on in-process goroutine ranks (scaled-down m) ==")
+		var rows []bench.DistMeasuredRow
+		for _, p := range []int{2, 4, 8} {
+			rows = append(rows, bench.DistMeasured(*seed, 1<<17, 64, 51, bench.TimingSigma, p))
+		}
+		bench.PrintDistMeasured(os.Stdout, rows)
+		fmt.Println()
+
+		fmt.Println("== trace-driven extrapolation (both algorithms measured at small scale,")
+		fmt.Println("   collective timeline replayed through the machine model) ==")
+		tr := bench.DistTraceExtrapolate(*seed, 1<<16, 64, 51, bench.TimingSigma, 2,
+			mc, bench.DistM, ps)
+		bench.PrintDistScaling(os.Stdout, mc, tr)
+		fmt.Println()
+	}
+
+	if *fig == "67" || *fig == "all" {
+		rows := bench.DistScalingModel(mc, bench.DistM, ns, ps, iters)
+		bench.PrintDistScaling(os.Stdout, mc, rows)
+		fmt.Println()
+	}
+	if *fig == "8" || *fig == "all" {
+		p := ps[len(ps)-2]
+		bench.PrintFig8(os.Stdout, mc, bench.DistM, p, iters, ns)
+		fmt.Println()
+	}
+	if *table == 3 || *fig == "all" {
+		bench.PrintTable3(os.Stdout, mc, bench.DistM, iters, psT3, []int{16, 128, 1024})
+	}
+}

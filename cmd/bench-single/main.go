@@ -1,0 +1,61 @@
+// Command bench-single reproduces the single-node timing comparison of
+// the paper (Figs. 4 and 5): Ite-CholQR-CP (ε = 1e-5) against the blocked
+// Householder QRCP baseline over the m × (n, r) grid, reporting times,
+// speedups, and the effective FLOPS of Eq. (19). It also runs the ε
+// ablation behind the paper's tolerance recommendation.
+//
+// Usage:
+//
+//	bench-single                 # reduced grid, finishes in ~a minute
+//	bench-single -paper          # the paper's full grid (m up to 1e5,
+//	                             # n up to 1024; takes a long while)
+//	bench-single -flops          # print the Fig. 5 FLOPS table too
+//	bench-single -ablation       # ε sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/bench"
+)
+
+func main() {
+	var (
+		paper    = flag.Bool("paper", false, "use the paper's full sweep (slow)")
+		flops    = flag.Bool("flops", true, "also print the Fig. 5 effective-FLOPS table")
+		ablation = flag.Bool("ablation", false, "also run the ε tolerance ablation")
+		repeats  = flag.Int("repeats", 0, "runs per cell, best kept (0 = paper's 5, or 2 reduced)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	ms := []int{10000, 40000}
+	nrs := []bench.NR{{N: 16, R: 13}, {N: 32, R: 26}, {N: 64, R: 51}, {N: 128, R: 102}, {N: 256, R: 205}}
+	reps := 2
+	if *paper {
+		ms = bench.SingleNodeMs
+		nrs = bench.SingleNodeNRs
+		reps = bench.TimingRepeats
+	}
+	if *repeats > 0 {
+		reps = *repeats
+	}
+
+	fmt.Printf("single-node sweep on %d cores, σ = %.0e, best of %d runs\n",
+		runtime.GOMAXPROCS(0), bench.TimingSigma, reps)
+	rows := bench.SingleNodeSweep(*seed, ms, nrs, bench.TimingSigma, reps)
+	bench.PrintFig4(os.Stdout, rows)
+	fmt.Println()
+	if *flops {
+		bench.PrintFig5(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *ablation {
+		epss := []float64{1e-2, 1e-3, 1e-5, 1e-8, 1e-10, 0}
+		ab := bench.AblationEps(*seed, ms[0], 64, 51, bench.TimingSigma, epss)
+		bench.PrintAblationEps(os.Stdout, ab)
+	}
+}

@@ -1,0 +1,126 @@
+// Command report runs the complete reproduction pipeline — every figure
+// and table of the paper plus this repository's ablations — and writes a
+// single self-contained text report (default: stdout; -o writes a file).
+//
+// This is the one-command answer to "regenerate the paper":
+//
+//	go run ./cmd/report -o report.txt          # reduced sizes, minutes
+//	go run ./cmd/report -paper -o report.txt   # paper sizes, hours
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/bench"
+	"repro/dist"
+)
+
+func main() {
+	var (
+		paper = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
+		out   = flag.String("o", "", "write the report to this file instead of stdout")
+		seed  = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "report: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	m, n, r := 2000, 30, 24
+	mcCount := 100
+	ms := []int{10000, 40000}
+	nrs := []bench.NR{{N: 16, R: 13}, {N: 32, R: 26}, {N: 64, R: 51}, {N: 128, R: 102}}
+	reps := 2
+	if *paper {
+		m, n, r = bench.AccuracyShape.M, bench.AccuracyShape.N, bench.AccuracyShape.R
+		mcCount = 1000
+		ms = bench.SingleNodeMs
+		nrs = bench.SingleNodeNRs
+		reps = bench.TimingRepeats
+	}
+	sigmas := []float64{1e-2, 1e-4, 1e-6, 1e-8, 1e-10, 1e-12, 1e-14}
+
+	start := time.Now()
+	fmt.Fprintf(w, "tsqrcp reproduction report — %s\n", time.Now().Format(time.RFC1123))
+	fmt.Fprintf(w, "cores: %d, paper-scale: %v, seed: %d\n", runtime.GOMAXPROCS(0), *paper, *seed)
+	fmt.Fprintf(w, "reference: Fukaya, Nakatsukasa, Yamamoto, IPDPS 2024\n\n")
+	sep := func(title string) { fmt.Fprintf(w, "%s\n%s\n", title, dashes(len(title))) }
+
+	sep("§III-C preliminary experiments")
+	bench.PrintFig1a(w, bench.Fig1a(*seed, m, n, r, 1e-12))
+	fmt.Fprintln(w)
+	bench.PrintFig1c(w, bench.Fig1c(*seed, mcCount, m, min(r, n)))
+	fmt.Fprintln(w)
+
+	sep("§IV-B accuracy (Figs. 2, 3)")
+	bench.PrintFig2(w, bench.Fig2(*seed, m, n, r, sigmas))
+	fmt.Fprintln(w)
+	for _, eps := range []float64{1e-5, 0} {
+		rows := bench.Fig3(*seed, m, n, r, sigmas, eps)
+		bench.PrintFig3(w, rows)
+		if eps != 0 {
+			fmt.Fprintf(w, "  all essential pivots correct: %v (paper: true)\n\n", bench.AllPivotsCorrect(rows))
+		}
+	}
+	fmt.Fprintln(w)
+
+	sep("§IV-C single-node performance (Figs. 4, 5)")
+	timing := bench.SingleNodeSweep(*seed, ms, nrs, bench.TimingSigma, reps)
+	bench.PrintFig4(w, timing)
+	fmt.Fprintln(w)
+	bench.PrintFig5(w, timing)
+	fmt.Fprintln(w)
+	bench.PrintAblationEps(w, bench.AblationEps(*seed, ms[0], 64, 51,
+		bench.TimingSigma, []float64{1e-2, 1e-3, 1e-5, 1e-8, 0}))
+	fmt.Fprintln(w)
+
+	sep("§IV-D distributed performance (Figs. 6–8, Table III)")
+	var measured []bench.DistMeasuredRow
+	for _, p := range []int{2, 4, 8} {
+		measured = append(measured, bench.DistMeasured(*seed, 1<<16, 64, 51, bench.TimingSigma, p))
+	}
+	bench.PrintDistMeasured(w, measured)
+	fmt.Fprintln(w)
+	ns := []int{16, 32, 64, 128, 256, 512, 1024}
+	bench.PrintDistScaling(w, dist.OBCX,
+		bench.DistScalingModel(dist.OBCX, bench.DistM, ns, []int{16, 256, 2048}, 3))
+	fmt.Fprintln(w)
+	bench.PrintFig8(w, dist.BDECO, bench.DistM, 16384, 3, ns)
+	fmt.Fprintln(w)
+	bench.PrintTable3(w, dist.OBCX, bench.DistM, 3, []int{16, 2048}, []int{16, 128, 1024})
+	fmt.Fprintln(w)
+
+	sep("§V comparators")
+	bench.PrintComparators(w, bench.Comparators(*seed, 4*m, min(n, 32), min(r, 26), 1e-8, reps))
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "total runtime: %v\n", time.Since(start).Round(time.Second))
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/mat"
+	"repro/metrics"
+	"repro/testmat"
+)
+
+func TestDistCholQR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	m, n := 360, 10
+	a := testmat.GenerateWellConditioned(rng, m, n, 1e6)
+	l := Layout{M: m, P: 4}
+	blocks := scatter(a, l)
+	rs := make([]*mat.Dense, 4)
+	Run(4, func(c Comm) {
+		r, err := CholQR2(c, blocks[c.Rank()])
+		if err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		rs[c.Rank()] = r
+	})
+	q := gather(blocks, l)
+	if e := metrics.Orthogonality(q); e > 1e-14 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	if res := metrics.Residual(a, q, rs[0], mat.IdentityPerm(n)); res > 1e-13 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestDistCholQR2CollectiveCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(182))
+	a := testmat.GenerateWellConditioned(rng, 200, 8, 100)
+	l := Layout{M: 200, P: 4}
+	blocks := scatter(a, l)
+	Run(4, func(c Comm) {
+		ic := Instrument(c)
+		if _, err := CholQR2(ic, blocks[c.Rank()]); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+			return
+		}
+		if got := ic.Stats().Collectives; got != 2 {
+			t.Errorf("rank %d: %d collectives, want 2", c.Rank(), got)
+		}
+	})
+}
+
+func TestDistQRThenQRCPMatchesSerialPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	m, n, rk := 320, 16, 13
+	a := testmat.Generate(rng, m, n, rk, 1e-8)
+	ref := core.HQRCPNoQ(a)
+	l := Layout{M: m, P: 4}
+	blocks := scatter(a, l)
+	results := make([]*QRCPResult, 4)
+	Run(4, func(c Comm) {
+		results[c.Rank()] = QRThenQRCP(c, blocks[c.Rank()])
+	})
+	if !metrics.AllCorrect(results[0].Perm, ref.Perm, rk) {
+		t.Fatalf("pivots differ from serial HQR-CP:\n got %v\n ref %v",
+			results[0].Perm[:rk], ref.Perm[:rk])
+	}
+	qblocks := make([]*mat.Dense, 4)
+	for r := 0; r < 4; r++ {
+		qblocks[r] = results[r].QLocal
+	}
+	q := gather(qblocks, l)
+	if e := metrics.Orthogonality(q); e > 1e-13 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	if res := metrics.Residual(a, q, results[0].R, results[0].Perm); res > 1e-12 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestDistQRThenQRCPTwoCollectives(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	a := testmat.GenerateWellConditioned(rng, 240, 12, 1e4)
+	l := Layout{M: 240, P: 4}
+	blocks := scatter(a, l)
+	Run(4, func(c Comm) {
+		ic := Instrument(c)
+		QRThenQRCP(ic, blocks[c.Rank()])
+		if got := ic.Stats().Collectives; got != 1 {
+			t.Errorf("rank %d: %d collectives, want 1 (single TSQR allgather)", c.Rank(), got)
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package dist
+
+import (
+	"testing"
+)
+
+func TestAllreduceTimeScaling(t *testing.T) {
+	mc := OBCX
+	if got := mc.AllreduceTime(1, 1000); got != 0 {
+		t.Fatalf("single rank must cost 0, got %v", got)
+	}
+	t2 := mc.AllreduceTime(2, 1000)
+	t1024 := mc.AllreduceTime(1024, 1000)
+	if t1024 <= t2 {
+		t.Fatal("Allreduce must get slower with more ranks")
+	}
+	// log-scaling: 1024 ranks = 10 hops vs 1 hop.
+	if t1024 > 11*t2 || t1024 < 9*t2 {
+		t.Fatalf("expected ~10× latency: %v vs %v", t1024, t2)
+	}
+	// Payload dependence.
+	if mc.AllreduceTime(16, 1<<20) <= mc.AllreduceTime(16, 8) {
+		t.Fatal("bigger payload must cost more")
+	}
+}
+
+func TestEagerLimitCliff(t *testing.T) {
+	mc := BDECO
+	small := mc.AllreduceTime(4096, mc.EagerLimit)
+	large := mc.AllreduceTime(4096, mc.EagerLimit+1)
+	if large <= small {
+		t.Fatal("protocol switch must produce a cost jump")
+	}
+	// OBCX has no cliff.
+	o1 := OBCX.AllreduceTime(1024, 64*1024)
+	o2 := OBCX.AllreduceTime(1024, 64*1024+8)
+	if o2-o1 > OBCX.Beta*8*11 {
+		t.Fatal("OBCX should be cliff-free")
+	}
+}
+
+func TestModelIteWinsAtScale(t *testing.T) {
+	// Fig. 6(c): with many nodes, Ite-CholQR-CP should beat HQR-CP by a
+	// large factor (paper: >25× at P=1024 nodes = 2048 procs, n=128).
+	m := 1 << 24
+	n := 128
+	p := 2048
+	ite := ModelIteCholQRCP(OBCX, m, n, p, 3)
+	hqr := ModelHQRCP(OBCX, m, n, p, true)
+	speedup := hqr.Total() / ite.Total()
+	if speedup < 5 {
+		t.Fatalf("modeled speedup %.1f at large P, want ≫ 1", speedup)
+	}
+}
+
+func TestModelCommDominatesAtLargeP(t *testing.T) {
+	// Table III: at 1024 nodes, communication dominates HQR-CP.
+	m, n := 1<<24, 128
+	small := ModelHQRCP(OBCX, m, n, 16, true)
+	large := ModelHQRCP(OBCX, m, n, 2048, true)
+	if small.Comm/small.Total() > 0.5 {
+		t.Fatalf("at small P compute should dominate: %v", small)
+	}
+	if large.Comm/large.Total() < 0.3 {
+		t.Fatalf("at large P communication should matter: %v", large)
+	}
+	// CA property: Ite's comm at large P must be far below HQR-CP's.
+	ite := ModelIteCholQRCP(OBCX, m, n, 2048, 3)
+	if ite.Comm > large.Comm/3 {
+		t.Fatalf("Ite comm %.2e should be ≪ HQR comm %.2e", ite.Comm, large.Comm)
+	}
+}
+
+func TestModelCompScalesWithP(t *testing.T) {
+	m, n := 1<<22, 64
+	b1 := ModelIteCholQRCP(OBCX, m, n, 16, 3)
+	b2 := ModelIteCholQRCP(OBCX, m, n, 32, 3)
+	ratio := b1.Comp / b2.Comp
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("doubling P should ~halve compute: ratio %.2f", ratio)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Comp: 1, Comm: 1}
+	if b.Total() != 2 {
+		t.Fatal("Total wrong")
+	}
+	if b.String() == "" {
+		t.Fatal("empty String")
+	}
+	if (Breakdown{}).String() == "" {
+		t.Fatal("zero Breakdown String must not panic")
+	}
+}

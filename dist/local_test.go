@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestAllreduceSum(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 7, 16} {
+		Run(p, func(c Comm) {
+			buf := []float64{float64(c.Rank() + 1), 10 * float64(c.Rank())}
+			c.AllreduceSum(buf)
+			wantA := float64(p*(p+1)) / 2
+			wantB := 10 * float64(p*(p-1)) / 2
+			if buf[0] != wantA || buf[1] != wantB {
+				t.Errorf("p=%d rank=%d: got %v, want [%v %v]", p, c.Rank(), buf, wantA, wantB)
+			}
+		})
+	}
+}
+
+func TestAllreduceDeterministic(t *testing.T) {
+	// Floating-point sums must be identical across ranks and across runs.
+	const p = 8
+	results := make([][]float64, p)
+	for trial := 0; trial < 3; trial++ {
+		Run(p, func(c Comm) {
+			buf := make([]float64, 100)
+			for i := range buf {
+				buf[i] = 1.0 / float64((c.Rank()+1)*(i+1))
+			}
+			c.AllreduceSum(buf)
+			if trial == 0 {
+				results[c.Rank()] = append([]float64(nil), buf...)
+			} else {
+				for i := range buf {
+					if buf[i] != results[c.Rank()][i] {
+						t.Errorf("non-deterministic sum at rank %d index %d", c.Rank(), i)
+						return
+					}
+				}
+			}
+		})
+	}
+	for r := 1; r < p; r++ {
+		for i := range results[0] {
+			if results[r][i] != results[0][i] {
+				t.Fatalf("rank %d result differs from rank 0 at %d", r, i)
+			}
+		}
+	}
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	// Several back-to-back collectives must not interfere (barrier reuse).
+	Run(4, func(c Comm) {
+		for round := 0; round < 10; round++ {
+			buf := []float64{1}
+			c.AllreduceSum(buf)
+			if buf[0] != 4 {
+				t.Errorf("round %d rank %d: got %v", round, c.Rank(), buf[0])
+				return
+			}
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	const p = 6
+	var phase atomic.Int32
+	Run(p, func(c Comm) {
+		phase.Add(1)
+		c.Barrier()
+		if got := phase.Load(); got != p {
+			t.Errorf("rank %d passed barrier with phase %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic to propagate")
+		}
+	}()
+	var once sync.Once
+	Run(3, func(c Comm) {
+		// All ranks must panic together or the barrier would deadlock;
+		// here no collective is used, so one panic is fine.
+		once.Do(func() { panic("boom") })
+	})
+}
+
+func TestNewLocalGroupValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p=0")
+		}
+	}()
+	NewLocalGroup(0)
+}
+
+func TestInstrumentedComm(t *testing.T) {
+	Run(2, func(c Comm) {
+		ic := Instrument(c)
+		buf := make([]float64, 50)
+		ic.AllreduceSum(buf)
+		ic.Barrier()
+		st := ic.Stats()
+		if st.Collectives != 2 {
+			t.Errorf("collectives = %d, want 2", st.Collectives)
+		}
+		if st.Bytes != 400 {
+			t.Errorf("bytes = %d, want 400", st.Bytes)
+		}
+		if st.String() == "" {
+			t.Error("empty Stats string")
+		}
+		ic.ResetStats()
+		if ic.Stats().Collectives != 0 {
+			t.Error("ResetStats did not clear")
+		}
+	})
+}
+
+func TestLayout(t *testing.T) {
+	l := Layout{M: 10, P: 3}
+	covered := make([]int, 10)
+	for r := 0; r < 3; r++ {
+		lo, hi := l.RowRange(r)
+		for i := lo; i < hi; i++ {
+			covered[i]++
+			if l.Owner(i) != r {
+				t.Fatalf("Owner(%d) = %d, want %d", i, l.Owner(i), r)
+			}
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("row %d covered %d times", i, c)
+		}
+	}
+	// Exact division (the paper's assumption).
+	l = Layout{M: 16, P: 4}
+	for r := 0; r < 4; r++ {
+		lo, hi := l.RowRange(r)
+		if hi-lo != 4 {
+			t.Fatalf("even split violated: rank %d has %d rows", r, hi-lo)
+		}
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	l := Layout{M: 4, P: 2}
+	mustPanicD(t, func() { l.RowRange(2) })
+	mustPanicD(t, func() { l.Owner(4) })
+}
+
+func mustPanicD(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

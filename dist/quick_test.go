@@ -1,0 +1,137 @@
+package dist
+
+// Property-based tests on the distributed substrate: results must be
+// independent of the process count and identical across ranks.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/mat"
+	"repro/testmat"
+)
+
+func TestQuickAllreduceMatchesSerialSum(t *testing.T) {
+	f := func(seed int64, pRaw, lenRaw uint8) bool {
+		p := 1 + int(pRaw)%8
+		length := 1 + int(lenRaw)%200
+		rng := rand.New(rand.NewSource(seed))
+		contrib := make([][]float64, p)
+		want := make([]float64, length)
+		for r := 0; r < p; r++ {
+			contrib[r] = make([]float64, length)
+			for i := range contrib[r] {
+				contrib[r][i] = rng.NormFloat64()
+			}
+		}
+		// Serial reference in rank order (the deterministic contract).
+		for i := 0; i < length; i++ {
+			s := 0.0
+			for r := 0; r < p; r++ {
+				s += contrib[r][i]
+			}
+			want[i] = s
+		}
+		ok := true
+		Run(p, func(c Comm) {
+			buf := append([]float64(nil), contrib[c.Rank()]...)
+			c.AllreduceSum(buf)
+			for i := range buf {
+				if buf[i] != want[i] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistQRCPIndependentOfP(t *testing.T) {
+	// The essential pivot sequence and the essential R block must not
+	// depend on the process count. (Only the essential prefix: partial
+	// Gram sums group differently for different P, so the roundoff-level
+	// tail columns — σ ≈ 1e-16 — may legitimately order differently,
+	// exactly as they may between runs of LAPACK with different
+	// threading.)
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + int(nRaw)%12
+		r := n - 2 // numerical rank: the essential prefix
+		m := 24 * n
+		a := testmat.Generate(rng, m, n, r, 1e-8)
+		var refPerm mat.Perm
+		var refR *mat.Dense
+		for _, p := range []int{1, 3, 4} {
+			l := Layout{M: m, P: p}
+			blocks := scatter(a, l)
+			results := make([]*QRCPResult, p)
+			failed := false
+			Run(p, func(c Comm) {
+				res, err := IteCholQRCP(c, blocks[c.Rank()], core.DefaultPivotTol)
+				if err != nil {
+					failed = true
+					return
+				}
+				results[c.Rank()] = res
+			})
+			if failed {
+				return false
+			}
+			if refPerm == nil {
+				refPerm = results[0].Perm
+				refR = results[0].R
+				continue
+			}
+			for j := 0; j < r; j++ {
+				if results[0].Perm[j] != refPerm[j] {
+					t.Logf("seed=%d n=%d: essential perm differs at P=%d", seed, n, p)
+					return false
+				}
+			}
+			got := results[0].R.Slice(0, r, 0, r)
+			want := refR.Slice(0, r, 0, r)
+			if !mat.EqualApprox(got, want, 1e-10*(1+refR.MaxAbs())) {
+				t.Logf("seed=%d n=%d: essential R differs at P=%d", seed, n, p)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLayoutPartition(t *testing.T) {
+	f := func(mRaw, pRaw uint8) bool {
+		m := 1 + int(mRaw)
+		p := 1 + int(pRaw)%16
+		if p > m {
+			p = m
+		}
+		l := Layout{M: m, P: p}
+		covered := 0
+		for r := 0; r < p; r++ {
+			lo, hi := l.RowRange(r)
+			if hi < lo {
+				return false
+			}
+			covered += hi - lo
+			for i := lo; i < hi; i++ {
+				if l.Owner(i) != r {
+					return false
+				}
+			}
+		}
+		return covered == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

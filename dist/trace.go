@@ -1,0 +1,78 @@
+package dist
+
+import (
+	"fmt"
+	"time"
+)
+
+// TraceEvent records one collective operation: its payload and the local
+// computation time that preceded it.
+type TraceEvent struct {
+	// Bytes is the collective's payload size (one direction).
+	Bytes int
+	// CompBefore is the local computation time since the previous
+	// collective (or since the trace started).
+	CompBefore time.Duration
+}
+
+// TraceComm wraps a Comm and records the full collective timeline of an
+// algorithm run — the trace-driven alternative to the closed-form cost
+// model: run the real algorithm once at small scale, then replay the
+// captured trace through the α-β machine model at any process count.
+// Because the collective *sequence* of these algorithms is independent of
+// P (it depends only on m, n and the iteration count), the replay
+// faithfully extrapolates both the computation (scaled by row share) and
+// the communication (re-priced per collective).
+type TraceComm struct {
+	Comm
+	events []TraceEvent
+	last   time.Time
+}
+
+// NewTraceComm wraps c and starts the computation clock.
+func NewTraceComm(c Comm) *TraceComm {
+	return &TraceComm{Comm: c, last: time.Now()}
+}
+
+// AllreduceSum records the event and forwards.
+func (tc *TraceComm) AllreduceSum(buf []float64) {
+	now := time.Now()
+	tc.events = append(tc.events, TraceEvent{
+		Bytes:      8 * len(buf),
+		CompBefore: now.Sub(tc.last),
+	})
+	tc.Comm.AllreduceSum(buf)
+	tc.last = time.Now()
+}
+
+// Barrier forwards without recording (the algorithms here do not use
+// bare barriers on their critical path).
+func (tc *TraceComm) Barrier() {
+	tc.Comm.Barrier()
+	tc.last = time.Now()
+}
+
+// Trace returns the recorded timeline.
+func (tc *TraceComm) Trace() []TraceEvent { return tc.events }
+
+// TailComp returns the computation time after the last collective up to
+// `end` (callers pass time.Now() right after the algorithm returns).
+func (tc *TraceComm) TailComp(end time.Time) time.Duration { return end.Sub(tc.last) }
+
+// ReplayTrace prices a recorded timeline on machine mc at process count
+// p, given the process count pMeasured the trace was captured with. The
+// computation segments scale by pMeasured/p (row shares shrink), and each
+// collective is re-priced by the α-β model at p ranks.
+func ReplayTrace(mc Machine, trace []TraceEvent, tailComp time.Duration, pMeasured, p int) Breakdown {
+	if pMeasured < 1 || p < 1 {
+		panic(fmt.Sprintf("dist: ReplayTrace with pMeasured=%d p=%d", pMeasured, p))
+	}
+	scale := float64(pMeasured) / float64(p)
+	var b Breakdown
+	for _, ev := range trace {
+		b.Comp += ev.CompBefore.Seconds() * scale
+		b.Comm += mc.AllreduceTime(p, ev.Bytes)
+	}
+	b.Comp += tailComp.Seconds() * scale
+	return b
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/mat"
+	"repro/metrics"
+	"repro/testmat"
+)
+
+func TestDistTSQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	m, n := 480, 12
+	a := testmat.GenerateWellConditioned(rng, m, n, 1e10)
+	for _, p := range []int{1, 2, 4, 6} {
+		l := Layout{M: m, P: p}
+		blocks := scatter(a, l)
+		rs := make([]*mat.Dense, p)
+		Run(p, func(c Comm) {
+			rs[c.Rank()] = TSQR(c, blocks[c.Rank()])
+		})
+		q := gather(blocks, l)
+		if e := metrics.Orthogonality(q); e > 1e-13 {
+			t.Fatalf("p=%d: orthogonality %g", p, e)
+		}
+		if res := metrics.Residual(a, q, rs[0], mat.IdentityPerm(n)); res > 1e-13 {
+			t.Fatalf("p=%d: residual %g", p, res)
+		}
+		for r := 1; r < p; r++ {
+			if !mat.EqualApprox(rs[r], rs[0], 0) {
+				t.Fatalf("p=%d: replicated R differs on rank %d", p, r)
+			}
+		}
+	}
+}
+
+func TestDistTSQRSingleCollective(t *testing.T) {
+	rng := rand.New(rand.NewSource(172))
+	m, n := 320, 8
+	a := testmat.GenerateWellConditioned(rng, m, n, 100)
+	l := Layout{M: m, P: 4}
+	blocks := scatter(a, l)
+	Run(4, func(c Comm) {
+		ic := Instrument(c)
+		TSQR(ic, blocks[c.Rank()])
+		if got := ic.Stats().Collectives; got != 1 {
+			t.Errorf("rank %d: %d collectives, want exactly 1", c.Rank(), got)
+		}
+	})
+}
+
+func TestDistTSQRIllConditionedBeatsCholQR(t *testing.T) {
+	// At κ₂ = 1e14, distributed CholQR breaks down; TSQR must not.
+	rng := rand.New(rand.NewSource(173))
+	m, n := 400, 10
+	a := testmat.GenerateWellConditioned(rng, m, n, 1e14)
+	l := Layout{M: m, P: 4}
+	blocks := scatter(a, l)
+	failed := make([]bool, 4)
+	Run(4, func(c Comm) {
+		if _, err := CholQR(c, blocks[c.Rank()].Clone()); err != nil {
+			failed[c.Rank()] = true
+		}
+	})
+	if !failed[0] {
+		t.Log("distributed CholQR unexpectedly survived κ=1e14")
+	}
+	Run(4, func(c Comm) {
+		TSQR(c, blocks[c.Rank()])
+	})
+	q := gather(blocks, l)
+	if e := metrics.Orthogonality(q); e > 1e-13 {
+		t.Fatalf("TSQR orthogonality %g at κ=1e14", e)
+	}
+}

@@ -1,0 +1,34 @@
+// Package tsqrcp computes QR factorizations of tall-skinny matrices, with
+// and without column pivoting, using communication-avoiding Cholesky-QR-
+// type algorithms.
+//
+// It is a from-scratch Go implementation of
+//
+//	T. Fukaya, Y. Nakatsukasa, Y. Yamamoto,
+//	"A Cholesky QR type algorithm for computing tall-skinny QR
+//	factorization with column pivoting", IEEE IPDPS 2024.
+//
+// The headline algorithm is Ite-CholQR-CP (QRCP): it obtains the same
+// pivots and the same accuracy as Householder QR with column pivoting, but
+// performs nearly all work in Level-3 BLAS kernels and needs only O(1)
+// collective communications in distributed runs, so it is dramatically
+// faster on tall-skinny matrices.
+//
+// Entry points:
+//
+//	QRCP          — pivoted QR by Ite-CholQR-CP (Algorithm 4)
+//	QRCPTruncated — rank-k truncated pivoted QR (low-rank approximation)
+//	HouseholderQRCP — the conventional DGEQP3-style baseline
+//	CholeskyQR / CholeskyQR2 / ShiftedCholeskyQR3 / HouseholderQR —
+//	   unpivoted tall-skinny QR
+//
+// Supporting packages:
+//
+//	mat     — dense row-major matrices and permutations
+//	dist    — distributed (1-D block-row) variants over an MPI-like
+//	          communicator, plus the α-β performance model
+//	testmat — the paper's synthetic test-matrix generator
+//	metrics — accuracy metrics (orthogonality, residual, κ₂(R₁₁), ‖R₂₂‖₂)
+//	bench   — harnesses that regenerate every figure and table of the
+//	          paper's evaluation
+package tsqrcp

@@ -1,0 +1,97 @@
+package tsqrcp_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	tsqrcp "repro"
+	"repro/mat"
+	"repro/testmat"
+)
+
+// ExampleQRCP factors the paper's canonical test matrix and reads the
+// numerical rank off the pivoted R factor.
+func ExampleQRCP() {
+	rng := rand.New(rand.NewSource(1))
+	// 4000×24 matrix with numerical rank 18 and κ₂ = 1e10.
+	a := testmat.Generate(rng, 4000, 24, 18, 1e-10)
+
+	f, err := tsqrcp.QRCP(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("rank:", f.Rank(0))
+	fmt.Println("iterations:", f.Iterations)
+	// Output:
+	// rank: 18
+	// iterations: 3
+}
+
+// ExampleQRCPTruncated compresses a numerically low-rank matrix without
+// factoring beyond the requested rank.
+func ExampleQRCPTruncated() {
+	rng := rand.New(rand.NewSource(2))
+	a := testmat.Generate(rng, 2000, 32, 6, 1e-2)
+
+	tf, err := tsqrcp.QRCPTruncated(a, 6, nil)
+	if err != nil {
+		panic(err)
+	}
+	approx := tf.Reconstruct()
+	diff := a.Clone()
+	diff.Sub(approx)
+	fmt.Println("rank:", tf.Rank)
+	fmt.Printf("relative error < 1e-12: %v\n", diff.FrobeniusNorm()/a.FrobeniusNorm() < 1e-12)
+	// Output:
+	// rank: 6
+	// relative error < 1e-12: true
+}
+
+// ExampleLstsq solves a rank-deficient least-squares problem with a basic
+// solution: dependent columns receive zero coefficients.
+func ExampleLstsq() {
+	rng := rand.New(rand.NewSource(3))
+	m := 200
+	a := mat.NewDense(m, 3)
+	for i := 0; i < m; i++ {
+		x := rng.NormFloat64()
+		a.Set(i, 0, x)
+		a.Set(i, 1, 2*x) // exactly dependent on column 0
+		a.Set(i, 2, rng.NormFloat64())
+	}
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		b[i] = a.At(i, 0) + a.At(i, 2)
+	}
+	x, rank, err := tsqrcp.LstsqVec(a, b, 1e-10, nil)
+	if err != nil {
+		panic(err)
+	}
+	nonzeros := 0
+	for _, v := range x {
+		if v != 0 {
+			nonzeros++
+		}
+	}
+	fmt.Println("rank:", rank)
+	fmt.Println("nonzero coefficients:", nonzeros)
+	// Output:
+	// rank: 2
+	// nonzero coefficients: 2
+}
+
+// ExampleCholeskyQR2 orthogonalizes a moderately conditioned block — the
+// fast path of the tall-skinny QR family.
+func ExampleCholeskyQR2() {
+	rng := rand.New(rand.NewSource(4))
+	a := testmat.GenerateWellConditioned(rng, 5000, 8, 1e6)
+	qr, err := tsqrcp.CholeskyQR2(a)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("Q columns:", qr.Q.Cols)
+	fmt.Println("R upper triangular:", qr.R.IsUpperTriangular(0))
+	// Output:
+	// Q columns: 8
+	// R upper triangular: true
+}

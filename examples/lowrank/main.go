@@ -1,0 +1,86 @@
+// Low-rank compression of a kernel interaction block — the H-matrix
+// workload from the paper's introduction.
+//
+// Hierarchical-matrix solvers repeatedly compress tall-skinny off-diagonal
+// blocks K(i,j) = k(x_i, y_j) between well-separated point clusters; such
+// blocks have rapidly decaying singular values. Truncated QRCP
+// (QRCPTruncated) builds the rank-k approximation directly, stopping the
+// pivoting iteration as soon as k columns are fixed — without ever
+// orthogonalizing the rest.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	tsqrcp "repro"
+	"repro/mat"
+)
+
+func main() {
+	const (
+		mPts = 6000 // sources
+		nPts = 96   // targets (well separated)
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// Source cluster near the origin, target cluster shifted away — the
+	// separation is what makes the interaction block numerically low-rank.
+	src := randomCloud(rng, mPts, 0.0)
+	tgt := randomCloud(rng, nPts, 4.0)
+
+	k := mat.NewDense(mPts, nPts)
+	for i := 0; i < mPts; i++ {
+		row := k.Row(i)
+		for j := 0; j < nPts; j++ {
+			row[j] = kernel(src[i], tgt[j])
+		}
+	}
+
+	fmt.Printf("kernel block: %d×%d (%.1f MB dense)\n",
+		mPts, nPts, float64(mPts*nPts*8)/1e6)
+
+	for _, rank := range []int{4, 8, 16, 24} {
+		tf, err := tsqrcp.QRCPTruncated(k, rank, nil)
+		if err != nil {
+			panic(err)
+		}
+		approx := tf.Reconstruct()
+		diff := k.Clone()
+		for i := range diff.Data {
+			diff.Data[i] -= approx.Data[i]
+		}
+		rel := diff.FrobeniusNorm() / k.FrobeniusNorm()
+		storage := float64((mPts + nPts) * tf.Rank * 8)
+		fmt.Printf("  rank %2d (%d iters): rel. error %.2e, storage %.2f MB (%.0f%% of dense)\n",
+			tf.Rank, tf.Iterations, rel, storage/1e6,
+			100*storage/float64(mPts*nPts*8))
+	}
+
+	fmt.Println("\nthe error drops geometrically with rank — the separated-cluster")
+	fmt.Println("kernel block is exactly the low-rank structure H-matrix methods exploit")
+}
+
+type point [3]float64
+
+func randomCloud(rng *rand.Rand, n int, shift float64) []point {
+	pts := make([]point, n)
+	for i := range pts {
+		for d := 0; d < 3; d++ {
+			pts[i][d] = rng.Float64()
+		}
+		pts[i][0] += shift
+	}
+	return pts
+}
+
+// kernel is the 3-D Laplace kernel 1/‖x−y‖.
+func kernel(x, y point) float64 {
+	var s float64
+	for d := 0; d < 3; d++ {
+		t := x[d] - y[d]
+		s += t * t
+	}
+	return 1 / math.Sqrt(s)
+}

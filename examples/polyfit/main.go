@@ -1,0 +1,87 @@
+// Rank-aware polynomial fitting — the classic least-squares workload
+// (Golub 1965) that motivated QR with column pivoting in the first place.
+//
+// A high-degree monomial basis on [0,1] produces a Vandermonde matrix
+// whose columns become numerically dependent long before the degree is
+// "too high" mathematically. A naive normal-equations or unpivoted-QR
+// solve amplifies noise into wild coefficients; the pivoted solve detects
+// the usable rank and returns a stable basic solution automatically.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	tsqrcp "repro"
+	"repro/mat"
+)
+
+func main() {
+	const (
+		m      = 2000 // samples
+		degree = 24   // monomial basis 1, x, …, x^24
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// Ground truth: a degree-5 polynomial plus noise.
+	truth := []float64{1, -2, 0.5, 3, -1, 0.25}
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	for i := range xs {
+		x := rng.Float64()
+		xs[i] = x
+		y, p := 0.0, 1.0
+		for _, c := range truth {
+			y += c * p
+			p *= x
+		}
+		ys[i] = y + 1e-8*rng.NormFloat64()
+	}
+
+	// Vandermonde design matrix: massively ill-conditioned for degree 24.
+	a := mat.NewDense(m, degree+1)
+	for i, x := range xs {
+		p := 1.0
+		for j := 0; j <= degree; j++ {
+			a.Set(i, j, p)
+			p *= x
+		}
+	}
+
+	x, rank, err := tsqrcp.LstsqVec(a, ys, 1e-10, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("degree-%d monomial basis: numerical rank %d of %d columns\n",
+		degree, rank, degree+1)
+
+	// Prediction accuracy on a fresh grid.
+	maxErr := 0.0
+	for i := 0; i < 200; i++ {
+		t := float64(i) / 199
+		pred, p := 0.0, 1.0
+		for j := 0; j <= degree; j++ {
+			pred += x[j] * p
+			p *= t
+		}
+		want, p2 := 0.0, 1.0
+		for _, c := range truth {
+			want += c * p2
+			p2 *= t
+		}
+		if e := math.Abs(pred - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("max prediction error on [0,1]: %.2e (noise level 1e-8)\n", maxErr)
+	biggest := 0.0
+	for _, v := range x {
+		if math.Abs(v) > biggest {
+			biggest = math.Abs(v)
+		}
+	}
+	fmt.Printf("largest coefficient magnitude: %.2e (no blow-up)\n", biggest)
+	fmt.Println("\nthe pivoted solve uses only the numerically independent basis")
+	fmt.Println("directions, so the fit stays at noise level despite κ₂ ≈ 1e16")
+}

@@ -1,0 +1,92 @@
+// Spectral analysis of a compressed kernel matrix: the H-matrix
+// compressor and the subspace eigensolver composed end-to-end. Both
+// layers run on the library's pivoted-QR engine — the H-matrix uses
+// truncated QRCP per admissible block, and the eigensolver uses pivoted
+// QR to keep its iterate basis orthonormal through convergence-induced
+// rank collapse.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/hmatrix"
+	"repro/mat"
+	"repro/subspace"
+)
+
+const n = 1500
+
+// hOperator adapts the compressed matrix to the eigensolver's interface.
+type hOperator struct {
+	h *hmatrix.HMatrix
+}
+
+func (o hOperator) Dim() int { return n }
+
+func (o hOperator) Apply(dst, x *mat.Dense) {
+	col := make([]float64, n)
+	out := make([]float64, n)
+	for j := 0; j < x.Cols; j++ {
+		x.Col(j, col)
+		o.h.MatVec(out, col)
+		dst.SetCol(j, out)
+	}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]float64, n)
+	for i := range pts {
+		pts[i] = rng.Float64()
+	}
+	sort.Float64s(pts)
+	// A symmetric positive-definite Gaussian kernel matrix.
+	kernel := func(x, y float64) float64 {
+		d := x - y
+		return math.Exp(-8 * d * d)
+	}
+
+	start := time.Now()
+	h, err := hmatrix.Build(pts, pts, kernel, &hmatrix.Options{Tol: 1e-10})
+	if err != nil {
+		panic(err)
+	}
+	st := h.Stats()
+	fmt.Printf("H-matrix: %d×%d kernel compressed in %v\n", n, n, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  %d dense + %d low-rank blocks, max rank %d, %.1f%% of dense storage\n\n",
+		st.DenseBlocks, st.LowRankBlocks, st.MaxRank, 100*st.CompressionRatio())
+
+	start = time.Now()
+	k := 6
+	vals, vecs, err := subspace.SymEigs(hOperator{h}, k, &subspace.EigOptions{Iterations: 40, Rng: rng})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top %d eigenvalues via subspace iteration on the compressed operator (%v):\n",
+		k, time.Since(start).Round(time.Millisecond))
+	for j, v := range vals {
+		fmt.Printf("  λ_%d = %.6e\n", j+1, v)
+	}
+
+	// Residual check ‖K·v − λ·v‖ against the compressed operator.
+	col := make([]float64, n)
+	out := make([]float64, n)
+	worst := 0.0
+	for j := 0; j < k; j++ {
+		vecs.Col(j, col)
+		h.MatVec(out, col)
+		res := 0.0
+		for i := 0; i < n; i++ {
+			d := out[i] - vals[j]*col[i]
+			res += d * d
+		}
+		if r := math.Sqrt(res) / math.Abs(vals[j]); r > worst {
+			worst = r
+		}
+	}
+	fmt.Printf("\nworst relative eigen-residual: %.2e\n", worst)
+}

@@ -1,0 +1,321 @@
+package hmatrix
+
+import (
+	"fmt"
+	"math"
+
+	tsqrcp "repro"
+	"repro/mat"
+)
+
+// KernelND evaluates the interaction between two d-dimensional points.
+type KernelND func(x, y []float64) float64
+
+// ndCluster is a node of a bounding-box cluster tree over a permuted
+// index range of the point set.
+type ndCluster struct {
+	lo, hi      int // range into the permutation array
+	bmin, bmax  []float64
+	left, right *ndCluster
+}
+
+func (c *ndCluster) size() int  { return c.hi - c.lo }
+func (c *ndCluster) leaf() bool { return c.left == nil }
+
+func (c *ndCluster) diam() float64 {
+	s := 0.0
+	for d := range c.bmin {
+		e := c.bmax[d] - c.bmin[d]
+		s += e * e
+	}
+	return math.Sqrt(s)
+}
+
+func ndDist(a, b *ndCluster) float64 {
+	s := 0.0
+	for d := range a.bmin {
+		gap := 0.0
+		if a.bmax[d] < b.bmin[d] {
+			gap = b.bmin[d] - a.bmax[d]
+		} else if b.bmax[d] < a.bmin[d] {
+			gap = a.bmin[d] - b.bmax[d]
+		}
+		s += gap * gap
+	}
+	return math.Sqrt(s)
+}
+
+// buildNDCluster recursively splits the index range along the widest
+// bounding-box dimension, permuting idx in place.
+func buildNDCluster(pts [][]float64, idx []int, lo, hi, leafSize int) *ndCluster {
+	dims := len(pts[0])
+	c := &ndCluster{lo: lo, hi: hi, bmin: make([]float64, dims), bmax: make([]float64, dims)}
+	for d := 0; d < dims; d++ {
+		c.bmin[d] = math.Inf(1)
+		c.bmax[d] = math.Inf(-1)
+	}
+	for _, p := range idx[lo:hi] {
+		for d, v := range pts[p] {
+			if v < c.bmin[d] {
+				c.bmin[d] = v
+			}
+			if v > c.bmax[d] {
+				c.bmax[d] = v
+			}
+		}
+	}
+	if hi-lo <= leafSize {
+		return c
+	}
+	// Widest dimension; split at its midpoint, cardinality fallback.
+	wd, wext := 0, -1.0
+	for d := 0; d < dims; d++ {
+		if e := c.bmax[d] - c.bmin[d]; e > wext {
+			wd, wext = d, e
+		}
+	}
+	mid := 0.5 * (c.bmin[wd] + c.bmax[wd])
+	split := partitionIdx(pts, idx, lo, hi, wd, mid)
+	if split == lo || split == hi {
+		split = (lo + hi) / 2
+	}
+	c.left = buildNDCluster(pts, idx, lo, split, leafSize)
+	c.right = buildNDCluster(pts, idx, split, hi, leafSize)
+	return c
+}
+
+// partitionIdx reorders idx[lo:hi] so points with coordinate ≤ mid along
+// dim come first; returns the boundary.
+func partitionIdx(pts [][]float64, idx []int, lo, hi, dim int, mid float64) int {
+	i, j := lo, hi-1
+	for i <= j {
+		for i <= j && pts[idx[i]][dim] <= mid {
+			i++
+		}
+		for i <= j && pts[idx[j]][dim] > mid {
+			j--
+		}
+		if i < j {
+			idx[i], idx[j] = idx[j], idx[i]
+			i++
+			j--
+		}
+	}
+	return i
+}
+
+// ndBlock mirrors block for the d-dimensional tree.
+type ndBlock struct {
+	row, col *ndCluster
+	dense    *mat.Dense
+	u, v     *mat.Dense
+	children []*ndBlock
+}
+
+// HMatrixND is a compressed kernel matrix over d-dimensional point sets.
+// Internally rows and columns are permuted by the cluster trees; MatVec
+// operates in the original point ordering.
+type HMatrixND struct {
+	root           *ndBlock
+	rows, cols     int
+	rowIdx, colIdx []int // permutation: internal position → original index
+}
+
+// BuildND compresses the kernel matrix K[i][j] = k(xs[i], ys[j]) over
+// d-dimensional point sets (all points must share a dimension ≥ 1).
+func BuildND(xs, ys [][]float64, k KernelND, opts *Options) (*HMatrixND, error) {
+	if len(xs) == 0 || len(ys) == 0 {
+		panic("hmatrix: empty point set")
+	}
+	dims := len(xs[0])
+	if dims < 1 {
+		panic("hmatrix: zero-dimensional points")
+	}
+	for _, p := range xs {
+		if len(p) != dims {
+			panic("hmatrix: inconsistent point dimensions")
+		}
+	}
+	for _, p := range ys {
+		if len(p) != dims {
+			panic("hmatrix: inconsistent point dimensions")
+		}
+	}
+	h := &HMatrixND{rows: len(xs), cols: len(ys)}
+	h.rowIdx = identityIdx(len(xs))
+	h.colIdx = identityIdx(len(ys))
+	rt := buildNDCluster(xs, h.rowIdx, 0, len(xs), opts.leafSize())
+	ct := buildNDCluster(ys, h.colIdx, 0, len(ys), opts.leafSize())
+	var err error
+	h.root, err = buildNDBlock(rt, ct, xs, ys, h.rowIdx, h.colIdx, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func identityIdx(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func ndAdmissible(r, c *ndCluster, eta float64) bool {
+	d := ndDist(r, c)
+	if d <= 0 {
+		return false
+	}
+	return math.Min(r.diam(), c.diam()) <= eta*d
+}
+
+func buildNDBlock(r, c *ndCluster, xs, ys [][]float64, ridx, cidx []int, k KernelND, opts *Options) (*ndBlock, error) {
+	b := &ndBlock{row: r, col: c}
+	switch {
+	case ndAdmissible(r, c, opts.eta()):
+		dense := evalNDBlock(r, c, xs, ys, ridx, cidx, k)
+		if err := compressDense(dense, opts.tol(), &b.u, &b.v); err != nil {
+			return nil, err
+		}
+	case r.leaf() || c.leaf():
+		b.dense = evalNDBlock(r, c, xs, ys, ridx, cidx, k)
+	default:
+		for _, rc := range []*ndCluster{r.left, r.right} {
+			for _, cc := range []*ndCluster{c.left, c.right} {
+				child, err := buildNDBlock(rc, cc, xs, ys, ridx, cidx, k, opts)
+				if err != nil {
+					return nil, err
+				}
+				b.children = append(b.children, child)
+			}
+		}
+	}
+	return b, nil
+}
+
+func evalNDBlock(r, c *ndCluster, xs, ys [][]float64, ridx, cidx []int, k KernelND) *mat.Dense {
+	m := mat.NewDense(r.size(), c.size())
+	for i := 0; i < r.size(); i++ {
+		x := xs[ridx[r.lo+i]]
+		row := m.Row(i)
+		for j := 0; j < c.size(); j++ {
+			row[j] = k(x, ys[cidx[c.lo+j]])
+		}
+	}
+	return m
+}
+
+// compressDense factors a dense block into U·V at the given tolerance
+// (shared by the 1-D and N-D builders).
+func compressDense(dense *mat.Dense, tol float64, u, v **mat.Dense) error {
+	m, n := dense.Rows, dense.Cols
+	if m >= n {
+		f, err := tsqrcp.QRCP(dense, nil)
+		if err != nil {
+			return fmt.Errorf("hmatrix: block (%d×%d): %w", m, n, err)
+		}
+		rank := f.Rank(tol)
+		if rank == 0 {
+			rank = 1
+		}
+		*u = f.Q.Slice(0, m, 0, rank).Clone()
+		rp := f.R.Slice(0, rank, 0, n)
+		*v = mat.NewDense(rank, n)
+		mat.PermuteCols(*v, rp, f.Perm.Inverse())
+		return nil
+	}
+	f, err := tsqrcp.QRCP(dense.T(), nil)
+	if err != nil {
+		return fmt.Errorf("hmatrix: block (%d×%d): %w", m, n, err)
+	}
+	rank := f.Rank(tol)
+	if rank == 0 {
+		rank = 1
+	}
+	rp := f.R.Slice(0, rank, 0, m)
+	rperm := mat.NewDense(rank, m)
+	mat.PermuteCols(rperm, rp, f.Perm.Inverse())
+	*u = rperm.T()
+	*v = f.Q.Slice(0, n, 0, rank).T()
+	return nil
+}
+
+// MatVec computes dst = K·x in the original point ordering.
+func (h *HMatrixND) MatVec(dst, x []float64) {
+	if len(dst) != h.rows || len(x) != h.cols {
+		panic(fmt.Sprintf("hmatrix: MatVec dims dst[%d], x[%d] for %d×%d", len(dst), len(x), h.rows, h.cols))
+	}
+	xp := make([]float64, h.cols)
+	for p, orig := range h.colIdx {
+		xp[p] = x[orig]
+	}
+	dp := make([]float64, h.rows)
+	h.root.matvec(dp, xp)
+	for p, orig := range h.rowIdx {
+		dst[orig] = dp[p]
+	}
+}
+
+func (b *ndBlock) matvec(dst, x []float64) {
+	switch {
+	case b.dense != nil:
+		d := b.dense
+		for i := 0; i < d.Rows; i++ {
+			row := d.Data[i*d.Stride : i*d.Stride+d.Cols]
+			s := 0.0
+			for j, v := range row {
+				s += v * x[b.col.lo+j]
+			}
+			dst[b.row.lo+i] += s
+		}
+	case b.u != nil:
+		k := b.u.Cols
+		tmp := make([]float64, k)
+		for l := 0; l < k; l++ {
+			row := b.v.Data[l*b.v.Stride : l*b.v.Stride+b.v.Cols]
+			s := 0.0
+			for j, v := range row {
+				s += v * x[b.col.lo+j]
+			}
+			tmp[l] = s
+		}
+		for i := 0; i < b.u.Rows; i++ {
+			row := b.u.Data[i*b.u.Stride : i*b.u.Stride+k]
+			s := 0.0
+			for l, v := range row {
+				s += v * tmp[l]
+			}
+			dst[b.row.lo+i] += s
+		}
+	default:
+		for _, c := range b.children {
+			c.matvec(dst, x)
+		}
+	}
+}
+
+// Stats reports storage for the N-D compression.
+func (h *HMatrixND) Stats() Stats {
+	st := Stats{DenseFloats: h.rows * h.cols}
+	h.root.stats(&st)
+	return st
+}
+
+func (b *ndBlock) stats(st *Stats) {
+	switch {
+	case b.dense != nil:
+		st.DenseBlocks++
+		st.StoredFloats += b.dense.Rows * b.dense.Cols
+	case b.u != nil:
+		st.LowRankBlocks++
+		st.StoredFloats += b.u.Rows*b.u.Cols + b.v.Rows*b.v.Cols
+		if b.u.Cols > st.MaxRank {
+			st.MaxRank = b.u.Cols
+		}
+	default:
+		for _, c := range b.children {
+			c.stats(st)
+		}
+	}
+}

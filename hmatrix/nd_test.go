@@ -1,0 +1,131 @@
+package hmatrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/mat"
+)
+
+func laplace3D(x, y []float64) float64 {
+	s := 0.0
+	for d := range x {
+		t := x[d] - y[d]
+		s += t * t
+	}
+	if s < 1e-20 {
+		s = 1e-20
+	}
+	return 1 / math.Sqrt(s)
+}
+
+func randomCloudND(rng *rand.Rand, n, dims int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		for d := range p {
+			p[d] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func denseKernelND(xs, ys [][]float64, k KernelND) *mat.Dense {
+	d := mat.NewDense(len(xs), len(ys))
+	for i, x := range xs {
+		for j, y := range ys {
+			d.Set(i, j, k(x, y))
+		}
+	}
+	return d
+}
+
+func TestHMatrixNDMatVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(291))
+	for _, dims := range []int{1, 2, 3} {
+		n := 500
+		xs := randomCloudND(rng, n, dims)
+		h, err := BuildND(xs, xs, laplace3D, &Options{Tol: 1e-7, Eta: 2})
+		if err != nil {
+			t.Fatalf("dims=%d: %v", dims, err)
+		}
+		dense := denseKernelND(xs, xs, laplace3D)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		h.MatVec(got, x)
+		num, den := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += dense.At(i, j) * x[j]
+			}
+			d := got[i] - s
+			num += d * d
+			den += s * s
+		}
+		if rel := math.Sqrt(num / den); rel > 1e-5 {
+			t.Fatalf("dims=%d: matvec error %g", dims, rel)
+		}
+	}
+}
+
+func TestHMatrixNDCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(292))
+	n := 800
+	xs := randomCloudND(rng, n, 2)
+	h, err := BuildND(xs, xs, laplace3D, &Options{Tol: 1e-6, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.LowRankBlocks == 0 {
+		t.Fatal("no compressed blocks in 2D")
+	}
+	if r := st.CompressionRatio(); r > 0.8 {
+		t.Fatalf("compression ratio %g, want < 0.8", r)
+	}
+	if st.MaxRank >= 64 {
+		t.Fatalf("max rank %d too high for admissible Laplace blocks", st.MaxRank)
+	}
+}
+
+func TestHMatrixNDRectangularAndOrdering(t *testing.T) {
+	// MatVec must respect the ORIGINAL point ordering even though the
+	// tree permutes internally.
+	rng := rand.New(rand.NewSource(293))
+	xs := randomCloudND(rng, 257, 2)
+	ys := randomCloudND(rng, 130, 2)
+	h, err := BuildND(xs, ys, laplace3D, &Options{Tol: 1e-8, Eta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := denseKernelND(xs, ys, laplace3D)
+	// Unit vector probes check individual columns in original order.
+	for _, j := range []int{0, 7, 129} {
+		x := make([]float64, 130)
+		x[j] = 1
+		got := make([]float64, 257)
+		h.MatVec(got, x)
+		for i := 0; i < 257; i++ {
+			if math.Abs(got[i]-dense.At(i, j)) > 1e-6*(1+math.Abs(dense.At(i, j))) {
+				t.Fatalf("column %d row %d: %g vs %g", j, i, got[i], dense.At(i, j))
+			}
+		}
+	}
+}
+
+func TestHMatrixNDPanics(t *testing.T) {
+	mustPanic(t, func() { BuildND(nil, [][]float64{{1}}, laplace3D, nil) })                      //nolint:errcheck
+	mustPanic(t, func() { BuildND([][]float64{{}}, [][]float64{{}}, laplace3D, nil) })           //nolint:errcheck
+	mustPanic(t, func() { BuildND([][]float64{{1}, {1, 2}}, [][]float64{{1}}, laplace3D, nil) }) //nolint:errcheck
+	h, err := BuildND([][]float64{{0}, {1}}, [][]float64{{0}, {1}}, laplace3D, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, func() { h.MatVec(make([]float64, 1), make([]float64, 2)) })
+}

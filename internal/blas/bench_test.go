@@ -1,0 +1,110 @@
+package blas
+
+// Kernel benchmarks: the throughput asymmetry between these Level-3 and
+// Level-2 kernels is the mechanism behind every performance figure in the
+// paper. GFLOPS are reported as custom metrics.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/mat"
+)
+
+func benchDense(m, n int) *mat.Dense {
+	rng := rand.New(rand.NewSource(1))
+	a := mat.NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func reportGFLOPS(b *testing.B, flopsPerOp float64) {
+	b.Helper()
+	n := b.N
+	if n < 1 {
+		n = 1
+	}
+	per := b.Elapsed() / time.Duration(n)
+	if per > 0 {
+		b.ReportMetric(flopsPerOp/per.Seconds()/1e9, "GFLOPS")
+	}
+}
+
+func BenchmarkGram(b *testing.B) {
+	for _, sh := range []struct{ m, n int }{{20000, 16}, {20000, 64}, {20000, 256}} {
+		a := benchDense(sh.m, sh.n)
+		w := mat.NewDense(sh.n, sh.n)
+		b.Run(fmt.Sprintf("m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Gram(w, a)
+			}
+			reportGFLOPS(b, 2*float64(sh.m)*float64(sh.n)*float64(sh.n))
+		})
+	}
+}
+
+func BenchmarkTrsmRight(b *testing.B) {
+	for _, sh := range []struct{ m, n int }{{20000, 64}, {20000, 256}} {
+		a := benchDense(sh.m, sh.n)
+		rng := rand.New(rand.NewSource(2))
+		r := upperTriangular(rng, sh.n)
+		b.Run(fmt.Sprintf("m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				work := a.Clone()
+				b.StartTimer()
+				TrsmRightUpperNoTrans(work, r)
+				b.StopTimer()
+			}
+			b.StartTimer()
+		})
+	}
+}
+
+func BenchmarkGemmNN(b *testing.B) {
+	const m, k, n = 4000, 256, 256
+	a := benchDense(m, k)
+	bb := benchDense(k, n)
+	c := mat.NewDense(m, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, NoTrans, 1, a, bb, 0, c)
+	}
+	reportGFLOPS(b, 2*float64(m)*float64(k)*float64(n))
+}
+
+func BenchmarkGemvTrans(b *testing.B) {
+	const m, n = 20000, 256
+	a := benchDense(m, n)
+	x := make([]float64, m)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemv(Trans, 1, a, x, 0, y)
+	}
+	reportGFLOPS(b, 2*float64(m)*float64(n))
+}
+
+func BenchmarkGer(b *testing.B) {
+	const m, n = 20000, 256
+	a := benchDense(m, n)
+	x := make([]float64, m)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1e-9
+	}
+	for j := range y {
+		y[j] = 1e-9
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Ger(1, x, y, a)
+	}
+	reportGFLOPS(b, 2*float64(m)*float64(n))
+}

@@ -1,0 +1,256 @@
+package blas
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+const (
+	// kBlock is the tile width along the summation dimension; one tile of
+	// B rows (kBlock × n doubles) should stay resident in L2 while a row
+	// panel of C is updated.
+	kBlock = 256
+	// gemmParallelFlops is the minimum multiply-add count before Gemm
+	// fans out across cores.
+	gemmParallelFlops = 1 << 16
+	// maxPrivateAcc bounds the size (in float64s) of per-worker private
+	// output accumulators used by the reduction-based Aᵀ·B path.
+	maxPrivateAcc = 1 << 22
+)
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C, where op is the identity
+// or transpose as selected by tA and tB. C must not alias A or B.
+func Gemm(tA, tB Transpose, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+	m, n, k := checkGemm(tA, tB, a, b, c)
+	if m == 0 || n == 0 {
+		return
+	}
+	if beta != 1 {
+		scaleMatrix(beta, c)
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	switch {
+	case tA == NoTrans && tB == NoTrans:
+		gemmNN(alpha, a, b, c)
+	case tA == Trans && tB == NoTrans:
+		gemmTN(alpha, a, b, c)
+	case tA == NoTrans && tB == Trans:
+		gemmNT(alpha, a, b, c)
+	default:
+		gemmTT(alpha, a, b, c)
+	}
+}
+
+func scaleMatrix(beta float64, c *mat.Dense) {
+	for i := 0; i < c.Rows; i++ {
+		row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		for j := range row {
+			row[j] *= beta
+		}
+	}
+}
+
+// gemmNN: C += alpha·A·B. Parallel over row panels of C; within a panel,
+// the summation dimension is tiled so the active B tile stays in cache,
+// and processed four at a time so each load/store of the C row amortizes
+// four multiply-adds (register blocking).
+func gemmNN(alpha float64, a, b, c *mat.Dense) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	body := func(lo, hi int) {
+		for l0 := 0; l0 < k; l0 += kBlock {
+			l1 := l0 + kBlock
+			if l1 > k {
+				l1 = k
+			}
+			for i := lo; i < hi; i++ {
+				arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+				crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+				l := l0
+				for ; l+4 <= l1; l += 4 {
+					a0 := alpha * arow[l]
+					a1 := alpha * arow[l+1]
+					a2 := alpha * arow[l+2]
+					a3 := alpha * arow[l+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					b0 := b.Data[l*b.Stride : l*b.Stride+n]
+					b1 := b.Data[(l+1)*b.Stride : (l+1)*b.Stride+n]
+					b2 := b.Data[(l+2)*b.Stride : (l+2)*b.Stride+n]
+					b3 := b.Data[(l+3)*b.Stride : (l+3)*b.Stride+n]
+					for j := range crow {
+						crow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; l < l1; l++ {
+					av := alpha * arow[l]
+					if av == 0 {
+						continue
+					}
+					brow := b.Data[l*b.Stride : l*b.Stride+n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	if 2*m*n*k < gemmParallelFlops {
+		body(0, m)
+		return
+	}
+	minChunk := gemmParallelFlops / (2*n*k + 1)
+	parallel.For(m, minChunk+1, body)
+}
+
+// gemmTN: C += alpha·Aᵀ·B, the Gram-type product that dominates Cholesky QR.
+// The summation runs over the (long) row dimension of A and B, so the
+// parallel scheme splits rows across workers, each accumulating into a
+// private m×n buffer, followed by a sequential reduction. For the
+// tall-skinny shapes in this library the buffer is a small n×n block.
+func gemmTN(alpha float64, a, b, c *mat.Dense) {
+	m, n := c.Rows, c.Cols // m = a.Cols
+	k := a.Rows
+	// Four summation rows are consumed together: each C-row update then
+	// amortizes its load/store over four multiply-adds.
+	seq := func(lo, hi int, dst *mat.Dense) {
+		l := lo
+		for ; l+4 <= hi; l += 4 {
+			a0 := a.Data[l*a.Stride : l*a.Stride+a.Cols]
+			a1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+a.Cols]
+			a2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+a.Cols]
+			a3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+a.Cols]
+			b0 := b.Data[l*b.Stride : l*b.Stride+n]
+			b1 := b.Data[(l+1)*b.Stride : (l+1)*b.Stride+n]
+			b2 := b.Data[(l+2)*b.Stride : (l+2)*b.Stride+n]
+			b3 := b.Data[(l+3)*b.Stride : (l+3)*b.Stride+n]
+			for i := 0; i < m; i++ {
+				v0 := alpha * a0[i]
+				v1 := alpha * a1[i]
+				v2 := alpha * a2[i]
+				v3 := alpha * a3[i]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+				for j := range drow {
+					drow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+				}
+			}
+		}
+		for ; l < hi; l++ {
+			arow := a.Data[l*a.Stride : l*a.Stride+a.Cols]
+			brow := b.Data[l*b.Stride : l*b.Stride+n]
+			for i, av := range arow {
+				av *= alpha
+				if av == 0 {
+					continue
+				}
+				drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	}
+	w := parallel.MaxWorkers()
+	if 2*m*n*k < gemmParallelFlops || w == 1 || m*n > maxPrivateAcc {
+		seq(0, k, c)
+		return
+	}
+	minChunk := gemmParallelFlops / (2*m*n + 1)
+	ranges := parallel.Split(k, w, minChunk+1)
+	if len(ranges) <= 1 {
+		seq(0, k, c)
+		return
+	}
+	acc := make([]*mat.Dense, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for bi, r := range ranges {
+		go func(bi int, r parallel.Range) {
+			defer wg.Done()
+			buf := mat.NewDense(m, n)
+			seq(r.Lo, r.Hi, buf)
+			acc[bi] = buf
+		}(bi, r)
+	}
+	wg.Wait()
+	for _, buf := range acc {
+		for i := 0; i < m; i++ {
+			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			brow := buf.Data[i*buf.Stride : i*buf.Stride+buf.Cols]
+			for j, v := range brow {
+				crow[j] += v
+			}
+		}
+	}
+}
+
+// gemmNT: C += alpha·A·Bᵀ. Each output element is a dot product of two
+// contiguous rows; parallel over rows of C.
+func gemmNT(alpha float64, a, b, c *mat.Dense) {
+	m, n, k := c.Rows, c.Cols, a.Cols
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*b.Stride : j*b.Stride+b.Cols]
+				// Four independent accumulators hide FMA latency.
+				var s0, s1, s2, s3 float64
+				l := 0
+				for ; l+4 <= k; l += 4 {
+					s0 += arow[l] * brow[l]
+					s1 += arow[l+1] * brow[l+1]
+					s2 += arow[l+2] * brow[l+2]
+					s3 += arow[l+3] * brow[l+3]
+				}
+				for ; l < k; l++ {
+					s0 += arow[l] * brow[l]
+				}
+				crow[j] += alpha * (s0 + s1 + s2 + s3)
+			}
+		}
+	}
+	if 2*m*n*k < gemmParallelFlops {
+		body(0, m)
+		return
+	}
+	minChunk := gemmParallelFlops / (2*n*k + 1)
+	parallel.For(m, minChunk+1, body)
+}
+
+// gemmTT: C += alpha·Aᵀ·Bᵀ. Rarely used; strided access on A is accepted.
+func gemmTT(alpha float64, a, b, c *mat.Dense) {
+	m, n := c.Rows, c.Cols
+	k := a.Rows
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			for j := 0; j < n; j++ {
+				brow := b.Data[j*b.Stride : j*b.Stride+b.Cols]
+				var s float64
+				for l := 0; l < k; l++ {
+					s += a.Data[l*a.Stride+i] * brow[l]
+				}
+				crow[j] += alpha * s
+			}
+		}
+	}
+	if 2*m*n*k < gemmParallelFlops {
+		body(0, m)
+		return
+	}
+	parallel.For(m, 1, body)
+}

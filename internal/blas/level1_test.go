@@ -1,0 +1,126 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+	mustPanicB(t, func() { Dot([]float64{1}, []float64{1, 2}) })
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy y = %v, want %v", y, want)
+		}
+	}
+	Axpy(0, []float64{9, 9, 9}, y)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatal("Axpy with alpha=0 must be a no-op")
+		}
+	}
+	mustPanicB(t, func() { Axpy(1, []float64{1}, []float64{1, 2}) })
+}
+
+func TestScal(t *testing.T) {
+	x := []float64{1, -2, 3}
+	Scal(-2, x)
+	want := []float64{-2, 4, -6}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("Scal x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestNrm2(t *testing.T) {
+	if got := Nrm2([]float64{3, 4}); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Nrm2 = %v, want 5", got)
+	}
+	if got := Nrm2(nil); got != 0 {
+		t.Fatalf("Nrm2(nil) = %v, want 0", got)
+	}
+	// Overflow guard.
+	got := Nrm2([]float64{1e300, 1e300})
+	if math.IsInf(got, 0) {
+		t.Fatal("Nrm2 overflowed")
+	}
+	want := 1e300 * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Nrm2 = %v, want %v", got, want)
+	}
+	// Underflow guard.
+	got = Nrm2([]float64{1e-300, 1e-300})
+	want = 1e-300 * math.Sqrt2
+	if math.Abs(got-want)/want > 1e-14 {
+		t.Fatalf("Nrm2 tiny = %v, want %v", got, want)
+	}
+}
+
+func TestNrm2MatchesSumSquares(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Keep magnitudes moderate so the naive sum doesn't overflow.
+		for i := range xs {
+			xs[i] = math.Mod(xs[i], 1e6)
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		a, b := Nrm2(xs), math.Sqrt(SumSquares(xs))
+		if b == 0 {
+			return a == 0
+		}
+		return math.Abs(a-b)/b < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIamax(t *testing.T) {
+	if got := Iamax([]float64{1, -5, 3}); got != 1 {
+		t.Fatalf("Iamax = %d, want 1", got)
+	}
+	if got := Iamax([]float64{2, -2}); got != 0 {
+		t.Fatalf("Iamax tie = %d, want 0 (first)", got)
+	}
+	if got := Iamax(nil); got != -1 {
+		t.Fatalf("Iamax(nil) = %d, want -1", got)
+	}
+}
+
+func TestSwapCopy(t *testing.T) {
+	x, y := []float64{1, 2}, []float64{3, 4}
+	Swap(x, y)
+	if x[0] != 3 || y[1] != 2 {
+		t.Fatalf("Swap: x=%v y=%v", x, y)
+	}
+	Copy(x, y)
+	if y[0] != 3 || y[1] != 4 {
+		t.Fatalf("Copy: y=%v", y)
+	}
+	mustPanicB(t, func() { Swap([]float64{1}, []float64{1, 2}) })
+	mustPanicB(t, func() { Copy([]float64{1}, []float64{1, 2}) })
+}
+
+func mustPanicB(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,152 @@
+package blas
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// gemvParallelThreshold is the minimum number of matrix elements before a
+// Level-2 kernel fans out across cores; below it goroutine startup costs
+// more than the memory traffic it hides.
+const gemvParallelThreshold = 1 << 15
+
+// Gemv computes y = alpha·op(A)·x + beta·y.
+func Gemv(t Transpose, alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+	rows, cols := dims(t, a)
+	if len(x) != cols || len(y) != rows {
+		panic(fmt.Sprintf("blas: Gemv op(A) %d×%d with x[%d], y[%d]", rows, cols, len(x), len(y)))
+	}
+	if t == NoTrans {
+		gemvN(alpha, a, x, beta, y)
+	} else {
+		gemvT(alpha, a, x, beta, y)
+	}
+}
+
+func gemvN(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+	n := a.Cols
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+n]
+			var s0, s1, s2, s3 float64
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				s0 += row[j] * x[j]
+				s1 += row[j+1] * x[j+1]
+				s2 += row[j+2] * x[j+2]
+				s3 += row[j+3] * x[j+3]
+			}
+			for ; j < n; j++ {
+				s0 += row[j] * x[j]
+			}
+			y[i] = alpha*(s0+s1+s2+s3) + beta*y[i]
+		}
+	}
+	if a.Rows*a.Cols < gemvParallelThreshold {
+		body(0, a.Rows)
+		return
+	}
+	minChunk := gemvParallelThreshold / (a.Cols + 1)
+	parallel.For(a.Rows, minChunk+1, body)
+}
+
+func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+	for j := range y {
+		y[j] *= beta
+	}
+	if a.Rows*a.Cols < gemvParallelThreshold || parallel.MaxWorkers() == 1 {
+		for i := 0; i < a.Rows; i++ {
+			xi := alpha * x[i]
+			if xi == 0 {
+				continue
+			}
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for j, v := range row {
+				y[j] += xi * v
+			}
+		}
+		return
+	}
+	// Parallel over row blocks with per-block private accumulators, then a
+	// sequential reduction (y is short: len == a.Cols).
+	minChunk := gemvParallelThreshold / (a.Cols + 1)
+	ranges := parallel.Split(a.Rows, parallel.MaxWorkers(), minChunk+1)
+	acc := make([][]float64, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for bi, r := range ranges {
+		go func(bi int, r parallel.Range) {
+			defer wg.Done()
+			buf := make([]float64, a.Cols)
+			for i := r.Lo; i < r.Hi; i++ {
+				xi := alpha * x[i]
+				if xi == 0 {
+					continue
+				}
+				row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+				for j, v := range row {
+					buf[j] += xi * v
+				}
+			}
+			acc[bi] = buf
+		}(bi, r)
+	}
+	wg.Wait()
+	for _, buf := range acc {
+		for j, v := range buf {
+			y[j] += v
+		}
+	}
+}
+
+// Ger computes A += alpha·x·yᵀ.
+func Ger(alpha float64, x, y []float64, a *mat.Dense) {
+	if len(x) != a.Rows || len(y) != a.Cols {
+		panic(fmt.Sprintf("blas: Ger A %d×%d with x[%d], y[%d]", a.Rows, a.Cols, len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			xi := alpha * x[i]
+			if xi == 0 {
+				continue
+			}
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for j, v := range y {
+				row[j] += xi * v
+			}
+		}
+	}
+	if a.Rows*a.Cols < gemvParallelThreshold {
+		body(0, a.Rows)
+		return
+	}
+	minChunk := gemvParallelThreshold / (a.Cols + 1)
+	parallel.For(a.Rows, minChunk+1, body)
+}
+
+// SyrUpper computes the upper triangle of W += alpha·x·xᵀ for symmetric W.
+// Only elements W[i][j] with j ≥ i are touched.
+func SyrUpper(alpha float64, x []float64, w *mat.Dense) {
+	if w.Rows != w.Cols || len(x) != w.Rows {
+		panic(fmt.Sprintf("blas: SyrUpper W %d×%d with x[%d]", w.Rows, w.Cols, len(x)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, xi := range x {
+		axi := alpha * xi
+		if axi == 0 {
+			continue
+		}
+		row := w.Data[i*w.Stride : i*w.Stride+w.Cols]
+		for j := i; j < len(x); j++ {
+			row[j] += axi * x[j]
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package blas
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// SyrkUpperTrans computes the upper triangle of C = alpha·AᵀA + beta·C for
+// symmetric C (n×n) and A (m×n). Elements strictly below the diagonal of C
+// are left untouched. The summation over the long dimension m is split
+// across workers with private accumulators, exactly mirroring how the
+// distributed algorithm forms local Gram blocks before the Allreduce.
+func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+	n := a.Cols
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("blas: SyrkUpperTrans C %d×%d, want %d×%d", c.Rows, c.Cols, n, n))
+	}
+	for i := 0; i < n; i++ {
+		row := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := i; j < n; j++ {
+			row[j] *= beta
+		}
+	}
+	if alpha == 0 || a.Rows == 0 || n == 0 {
+		return
+	}
+	// Four rows of A are consumed per pass so each touched element of the
+	// accumulator amortizes four multiply-adds (register blocking).
+	seq := func(lo, hi int, dst *mat.Dense) {
+		l := lo
+		for ; l+4 <= hi; l += 4 {
+			r0 := a.Data[l*a.Stride : l*a.Stride+n]
+			r1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+n]
+			r2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+n]
+			r3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+n]
+			for i := 0; i < n; i++ {
+				v0 := alpha * r0[i]
+				v1 := alpha * r1[i]
+				v2 := alpha * r2[i]
+				v3 := alpha * r3[i]
+				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+					continue
+				}
+				drow := dst.Data[i*dst.Stride : i*dst.Stride+n]
+				for j := i; j < n; j++ {
+					drow[j] += v0*r0[j] + v1*r1[j] + v2*r2[j] + v3*r3[j]
+				}
+			}
+		}
+		for ; l < hi; l++ {
+			arow := a.Data[l*a.Stride : l*a.Stride+n]
+			for i, av := range arow {
+				av *= alpha
+				if av == 0 {
+					continue
+				}
+				drow := dst.Data[i*dst.Stride : i*dst.Stride+n]
+				for j := i; j < n; j++ {
+					drow[j] += av * arow[j]
+				}
+			}
+		}
+	}
+	w := parallel.MaxWorkers()
+	flops := a.Rows * n * n // ≈ m·n²
+	if flops < gemmParallelFlops || w == 1 {
+		seq(0, a.Rows, c)
+		return
+	}
+	minChunk := gemmParallelFlops / (n*n + 1)
+	ranges := parallel.Split(a.Rows, w, minChunk+1)
+	if len(ranges) <= 1 {
+		seq(0, a.Rows, c)
+		return
+	}
+	acc := make([]*mat.Dense, len(ranges))
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for bi, r := range ranges {
+		go func(bi int, r parallel.Range) {
+			defer wg.Done()
+			buf := mat.NewDense(n, n)
+			seq(r.Lo, r.Hi, buf)
+			acc[bi] = buf
+		}(bi, r)
+	}
+	wg.Wait()
+	for _, buf := range acc {
+		for i := 0; i < n; i++ {
+			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			brow := buf.Data[i*buf.Stride : i*buf.Stride+buf.Cols]
+			for j := i; j < n; j++ {
+				crow[j] += brow[j]
+			}
+		}
+	}
+}
+
+// Gram computes the full symmetric Gram matrix W = AᵀA: the upper triangle
+// via SyrkUpperTrans and the lower triangle by mirroring. This is the
+// kernel on line 1 of CholQR (Algorithm 2) and line 3 of Ite-CholQR-CP
+// (Algorithm 4).
+func Gram(w *mat.Dense, a *mat.Dense) {
+	SyrkUpperTrans(1, a, 0, w)
+	SymmetrizeFromUpper(w)
+}
+
+// SymmetrizeFromUpper copies the strict upper triangle of w onto the strict
+// lower triangle.
+func SymmetrizeFromUpper(w *mat.Dense) {
+	if w.Rows != w.Cols {
+		panic(fmt.Sprintf("blas: SymmetrizeFromUpper on %d×%d", w.Rows, w.Cols))
+	}
+	for i := 0; i < w.Rows; i++ {
+		for j := i + 1; j < w.Cols; j++ {
+			w.Data[j*w.Stride+i] = w.Data[i*w.Stride+j]
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package blas
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+func checkTriangular(r *mat.Dense, n int, who string) {
+	if r.Rows != n || r.Cols != n {
+		panic(fmt.Sprintf("blas: %s triangular factor %d×%d, want %d×%d", who, r.Rows, r.Cols, n, n))
+	}
+}
+
+// TrsmRightUpperNoTrans computes B := B·R⁻¹ for upper triangular R. This is
+// the Q := A·R⁻¹ kernel of Cholesky QR (m·n² flops, Level 3): each row of B
+// is solved independently by forward substitution with contiguous row
+// access on R, and rows are distributed across cores.
+//
+// Panics if R has a zero diagonal entry.
+func TrsmRightUpperNoTrans(b, r *mat.Dense) {
+	n := b.Cols
+	checkTriangular(r, n, "TrsmRightUpperNoTrans")
+	for k := 0; k < n; k++ {
+		if r.Data[k*r.Stride+k] == 0 {
+			panic(fmt.Sprintf("blas: TrsmRightUpperNoTrans singular R at diagonal %d", k))
+		}
+	}
+	// Four B rows are solved together so each R row streamed from cache
+	// feeds four independent substitution chains (register blocking + ILP).
+	body := func(lo, hi int) {
+		i := lo
+		for ; i+4 <= hi; i += 4 {
+			x0 := b.Data[i*b.Stride : i*b.Stride+n]
+			x1 := b.Data[(i+1)*b.Stride : (i+1)*b.Stride+n]
+			x2 := b.Data[(i+2)*b.Stride : (i+2)*b.Stride+n]
+			x3 := b.Data[(i+3)*b.Stride : (i+3)*b.Stride+n]
+			for k := 0; k < n; k++ {
+				rrow := r.Data[k*r.Stride : k*r.Stride+n]
+				inv := 1 / rrow[k]
+				v0 := x0[k] * inv
+				v1 := x1[k] * inv
+				v2 := x2[k] * inv
+				v3 := x3[k] * inv
+				x0[k], x1[k], x2[k], x3[k] = v0, v1, v2, v3
+				for j := k + 1; j < n; j++ {
+					rv := rrow[j]
+					x0[j] -= v0 * rv
+					x1[j] -= v1 * rv
+					x2[j] -= v2 * rv
+					x3[j] -= v3 * rv
+				}
+			}
+		}
+		for ; i < hi; i++ {
+			x := b.Data[i*b.Stride : i*b.Stride+n]
+			for k := 0; k < n; k++ {
+				rrow := r.Data[k*r.Stride : k*r.Stride+n]
+				xk := x[k] / rrow[k]
+				x[k] = xk
+				if xk == 0 {
+					continue
+				}
+				for j := k + 1; j < n; j++ {
+					x[j] -= xk * rrow[j]
+				}
+			}
+		}
+	}
+	if b.Rows*n*n < gemmParallelFlops {
+		body(0, b.Rows)
+		return
+	}
+	minChunk := gemmParallelFlops / (n*n + 1)
+	parallel.For(b.Rows, minChunk+1, body)
+}
+
+// TrsmLeftUpperTrans computes B := R⁻ᵀ·B for upper triangular R, i.e. it
+// solves Rᵀ·X = B. Used for R₁₂ := R₁₁⁻ᵀ·W₁₂ (Algorithm 4, line 5). The
+// recurrence over rows is sequential; each step is a row axpy.
+func TrsmLeftUpperTrans(r, b *mat.Dense) {
+	n := b.Rows
+	checkTriangular(r, n, "TrsmLeftUpperTrans")
+	for i := 0; i < n; i++ {
+		d := r.Data[i*r.Stride+i]
+		if d == 0 {
+			panic(fmt.Sprintf("blas: TrsmLeftUpperTrans singular R at diagonal %d", i))
+		}
+		xi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		for k := 0; k < i; k++ {
+			c := r.Data[k*r.Stride+i] // Rᵀ[i,k]
+			if c == 0 {
+				continue
+			}
+			xk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range xi {
+				xi[j] -= c * xk[j]
+			}
+		}
+		inv := 1 / d
+		for j := range xi {
+			xi[j] *= inv
+		}
+	}
+}
+
+// TrsmLeftUpperNoTrans computes B := R⁻¹·B for upper triangular R by back
+// substitution over rows.
+func TrsmLeftUpperNoTrans(r, b *mat.Dense) {
+	n := b.Rows
+	checkTriangular(r, n, "TrsmLeftUpperNoTrans")
+	for i := n - 1; i >= 0; i-- {
+		d := r.Data[i*r.Stride+i]
+		if d == 0 {
+			panic(fmt.Sprintf("blas: TrsmLeftUpperNoTrans singular R at diagonal %d", i))
+		}
+		xi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		rrow := r.Data[i*r.Stride : i*r.Stride+r.Cols]
+		for k := i + 1; k < n; k++ {
+			c := rrow[k]
+			if c == 0 {
+				continue
+			}
+			xk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range xi {
+				xi[j] -= c * xk[j]
+			}
+		}
+		inv := 1 / d
+		for j := range xi {
+			xi[j] *= inv
+		}
+	}
+}
+
+// TrmmLeftUpperNoTrans computes B := A·B in place for upper triangular A.
+// Used to accumulate R := R'·R (Algorithm 4, line 12). Rows are updated in
+// increasing order, which is safe in place because row i of the product
+// depends only on rows k ≥ i of the old B.
+func TrmmLeftUpperNoTrans(a, b *mat.Dense) {
+	n := b.Rows
+	checkTriangular(a, n, "TrmmLeftUpperNoTrans")
+	for i := 0; i < n; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		aii := arow[i]
+		for j := range bi {
+			bi[j] *= aii
+		}
+		for k := i + 1; k < n; k++ {
+			c := arow[k]
+			if c == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range bi {
+				bi[j] += c * bk[j]
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package cholcp implements Cholesky factorization with complete (diagonal)
+// pivoting, including the paper's partial variant P-Chol-CP (Algorithm 3):
+// the factorization of the Gram matrix W = AᵀA stops as soon as the
+// largest remaining diagonal falls below W(1,1)·ε², because — as the
+// paper's preliminary experiments (Fig. 1) show — pivot selections made
+// past that point can no longer be trusted in floating-point arithmetic.
+package cholcp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/mat"
+)
+
+// Result is the output of a (partial) pivoted Cholesky factorization
+//
+//	Pᵀ·W·P = Rᵀ·R + W′   (Eq. 6 of the paper)
+//
+// where the leading NPiv×NPiv block of R is a genuine Cholesky factor and
+// the trailing (n−NPiv) diagonal of R is filled with the identity, so R is
+// always invertible and can be applied with a triangular solve.
+type Result struct {
+	// R is the n×n upper triangular factor; rows NPiv..n hold the
+	// identity padding of Algorithm 3 line 14.
+	R *mat.Dense
+	// Perm maps position j to the original index: (W·P)(:,j) = W(:,Perm[j]).
+	Perm mat.Perm
+	// NPiv is n′, the number of reliably pivoted columns.
+	NPiv int
+	// Breakdown reports that the factorization stopped because the best
+	// remaining diagonal was ≤ 0 (loss of positive semidefiniteness to
+	// roundoff) rather than by the ε tolerance or by completing all n
+	// columns.
+	Breakdown bool
+}
+
+// PCholCP runs the partial Cholesky factorization with complete pivoting
+// (Algorithm 3) on symmetric W with stopping tolerance eps (the paper's ε;
+// the recommended value for Ite-CholQR-CP is 1e-5). W is not modified.
+//
+// eps = 0 reproduces the paper's "ε = 0" variant, which only stops to
+// avoid outright breakdown (a non-positive pivot diagonal).
+func PCholCP(w *mat.Dense, eps float64) Result {
+	return PCholCPMax(w, eps, w.Rows)
+}
+
+// PCholCPMax is PCholCP with an additional cap on the number of pivots
+// factored, used by truncated QRCP to stop exactly at the requested rank.
+func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
+	if w.Rows != w.Cols {
+		panic(fmt.Sprintf("cholcp: PCholCP on %d×%d", w.Rows, w.Cols))
+	}
+	n := w.Rows
+	if maxPiv > n {
+		maxPiv = n
+	}
+	work := w.Clone()
+	r := mat.NewDense(n, n)
+	perm := mat.IdentityPerm(n)
+	res := Result{R: r, Perm: perm}
+
+	var w11 float64 // diagonal of the first pivot (the paper's W(1,1))
+	for k := 0; k < maxPiv; k++ {
+		// Select the largest remaining diagonal.
+		p := k
+		for l := k + 1; l < n; l++ {
+			if work.At(l, l) > work.At(p, p) {
+				p = l
+			}
+		}
+		wpp := work.At(p, p)
+		if k == 0 {
+			w11 = wpp
+		}
+		if wpp <= 0 || math.IsNaN(wpp) {
+			res.Breakdown = true
+			break
+		}
+		if k > 0 && wpp < w11*eps*eps {
+			break
+		}
+		if p != k {
+			symSwap(work, k, p)
+			r.SwapCols(k, p) // only rows < k are populated; full swap is safe
+			perm.Swap(k, p)
+		}
+		rkk := math.Sqrt(work.At(k, k))
+		r.Set(k, k, rkk)
+		inv := 1 / rkk
+		rrow := r.Data[k*r.Stride : k*r.Stride+n]
+		wrow := work.Data[k*work.Stride : k*work.Stride+n]
+		for j := k + 1; j < n; j++ {
+			rrow[j] = wrow[j] * inv
+		}
+		// Trailing symmetric rank-1 downdate:
+		// W(k+1:, k+1:) −= R(k, k+1:)ᵀ·R(k, k+1:).
+		for i := k + 1; i < n; i++ {
+			ri := rrow[i]
+			if ri == 0 {
+				continue
+			}
+			wi := work.Data[i*work.Stride : i*work.Stride+n]
+			for j := k + 1; j < n; j++ {
+				wi[j] -= ri * rrow[j]
+			}
+		}
+		res.NPiv = k + 1
+	}
+	// Pad the unfactored trailing block with the identity (line 14).
+	for k := res.NPiv; k < n; k++ {
+		r.Set(k, k, 1)
+	}
+	return res
+}
+
+// CholCP runs the classical Cholesky factorization with complete pivoting
+// (no tolerance): it factors until completion or until positive
+// semidefiniteness is lost to roundoff. Equivalent to PCholCP(w, 0).
+func CholCP(w *mat.Dense) Result { return PCholCP(w, 0) }
+
+// symSwap applies the symmetric permutation that exchanges index k and p
+// of a full (mirrored) symmetric matrix: rows k,p and columns k,p.
+func symSwap(w *mat.Dense, k, p int) {
+	w.SwapRows(k, p)
+	w.SwapCols(k, p)
+}

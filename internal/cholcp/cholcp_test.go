@@ -1,0 +1,239 @@
+package cholcp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/mat"
+)
+
+// gram returns BᵀB for a random m×n B, optionally with graded columns.
+func gram(rng *rand.Rand, m, n int, colScale func(j int) float64) *mat.Dense {
+	b := mat.NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 1.0
+			if colScale != nil {
+				s = colScale(j)
+			}
+			b.Set(i, j, s*rng.NormFloat64())
+		}
+	}
+	w := mat.NewDense(n, n)
+	blas.Gram(w, b)
+	return w
+}
+
+// reconstruct computes Rᵀ·R + paddingᵀpadding correction and compares with
+// Pᵀ·W·P on the leading npiv block and coupling block (Eq. 6).
+func checkFactorization(t *testing.T, w *mat.Dense, res Result) {
+	t.Helper()
+	n := w.Rows
+	if !res.Perm.IsValid() {
+		t.Fatalf("invalid perm %v", res.Perm)
+	}
+	if !res.R.IsUpperTriangular(0) {
+		t.Fatal("R not upper triangular")
+	}
+	// PᵀWP: element (i,j) = W(perm[i], perm[j]).
+	pwp := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			pwp.Set(i, j, w.At(res.Perm[i], res.Perm[j]))
+		}
+	}
+	rtr := mat.NewDense(n, n)
+	blas.Gemm(blas.Trans, blas.NoTrans, 1, res.R, res.R, 0, rtr)
+	scale := w.MaxAbs()
+	np := res.NPiv
+	// Leading block and coupling block must match exactly (up to roundoff):
+	// (PᵀWP)(0:np, :) == (RᵀR)(0:np, :) because W′ is zero there.
+	for i := 0; i < np; i++ {
+		for j := 0; j < n; j++ {
+			if d := math.Abs(pwp.At(i, j) - rtr.At(i, j)); d > 1e-12*scale {
+				t.Fatalf("Eq.(6) violated at (%d,%d): |Δ| = %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestCholCPFullRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 2, 5, 20, 64} {
+		w := gram(rng, n+10, n, nil)
+		res := CholCP(w)
+		if res.NPiv != n {
+			t.Fatalf("n=%d: NPiv = %d, want full %d", n, res.NPiv, n)
+		}
+		if res.Breakdown {
+			t.Fatal("unexpected breakdown for well-conditioned Gram matrix")
+		}
+		checkFactorization(t, w, res)
+	}
+}
+
+func TestCholCPPivotOrderIsDiagonalGreedy(t *testing.T) {
+	// A diagonal W: pivots must come out in decreasing diagonal order.
+	w := mat.NewDense(4, 4)
+	diag := []float64{2, 8, 1, 4}
+	for i, v := range diag {
+		w.Set(i, i, v)
+	}
+	res := CholCP(w)
+	want := mat.Perm{1, 3, 0, 2}
+	for j, v := range want {
+		if res.Perm[j] != v {
+			t.Fatalf("perm = %v, want %v", res.Perm, want)
+		}
+	}
+	// R diagonal should be sqrt of sorted diagonals.
+	for j, v := range []float64{8, 4, 2, 1} {
+		if math.Abs(res.R.At(j, j)-math.Sqrt(v)) > 1e-14 {
+			t.Fatalf("R diag %d = %v, want sqrt(%v)", j, res.R.At(j, j), v)
+		}
+	}
+}
+
+func TestPCholCPToleranceStops(t *testing.T) {
+	// Gram of a matrix with strongly graded columns: with ε = 1e-3 the
+	// factorization must stop once diagonals fall below w11·ε².
+	rng := rand.New(rand.NewSource(72))
+	n := 10
+	w := gram(rng, 200, n, func(j int) float64 { return math.Pow(10, -float64(j)) })
+	res := PCholCP(w, 1e-3)
+	if res.NPiv == 0 || res.NPiv >= n {
+		t.Fatalf("NPiv = %d, want partial stop in (0,%d)", res.NPiv, n)
+	}
+	if res.Breakdown {
+		t.Fatal("tolerance stop must not be reported as breakdown")
+	}
+	// Stopping rule: every factored diagonal of R (squared) ≥ w11·ε²;
+	// r(k,k)/r(0,0) ≥ ε for k < NPiv (Eq. 5).
+	r00 := res.R.At(0, 0)
+	for k := 0; k < res.NPiv; k++ {
+		if res.R.At(k, k)/r00 < 1e-3*0.999 {
+			t.Fatalf("factored diagonal %d below tolerance: %g", k, res.R.At(k, k)/r00)
+		}
+	}
+	checkFactorization(t, w, res)
+	// Trailing padding must be exactly the identity.
+	for k := res.NPiv; k < n; k++ {
+		if res.R.At(k, k) != 1 {
+			t.Fatalf("trailing diagonal %d = %v, want 1", k, res.R.At(k, k))
+		}
+		for j := k + 1; j < n; j++ {
+			if res.R.At(k, j) != 0 {
+				t.Fatalf("trailing row %d not identity", k)
+			}
+		}
+	}
+}
+
+func TestPCholCPBreakdown(t *testing.T) {
+	// Exactly rank-deficient W: after r columns the remaining diagonal is
+	// ~0 or slightly negative; ε=0 must stop by breakdown, not divide by 0.
+	rng := rand.New(rand.NewSource(73))
+	m, n, rank := 100, 8, 3
+	b := mat.NewDense(m, n)
+	base := mat.NewDense(m, rank)
+	for i := range base.Data {
+		base.Data[i] = rng.NormFloat64()
+	}
+	for j := 0; j < n; j++ {
+		coef := make([]float64, rank)
+		for i := range coef {
+			coef[i] = rng.NormFloat64()
+		}
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for l := 0; l < rank; l++ {
+				s += base.At(i, l) * coef[l]
+			}
+			b.Set(i, j, s)
+		}
+	}
+	w := mat.NewDense(n, n)
+	blas.Gram(w, b)
+	res := PCholCP(w, 0)
+	if res.NPiv < rank {
+		t.Fatalf("NPiv = %d, want ≥ rank %d", res.NPiv, rank)
+	}
+	// With ε = 0 a few extra columns of roundoff noise may get factored
+	// before the diagonal finally turns non-positive; their diagonals must
+	// be at noise level relative to the first pivot.
+	lead := res.R.At(0, 0)
+	for k := rank; k < res.NPiv; k++ {
+		if res.R.At(k, k) > 1e-6*lead {
+			t.Fatalf("diagonal %d = %g not at noise level (lead %g)", k, res.R.At(k, k), lead)
+		}
+	}
+	for _, v := range res.R.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite entries in R after breakdown stop")
+		}
+	}
+}
+
+func TestPCholCPZeroMatrix(t *testing.T) {
+	w := mat.NewDense(5, 5)
+	res := PCholCP(w, 1e-5)
+	if res.NPiv != 0 || !res.Breakdown {
+		t.Fatalf("zero matrix: NPiv=%d breakdown=%v, want 0/true", res.NPiv, res.Breakdown)
+	}
+	// R must be the identity (pure padding).
+	if !mat.EqualApprox(res.R, mat.Identity(5), 0) {
+		t.Fatal("R of zero matrix must be identity padding")
+	}
+}
+
+func TestPCholCPDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	w := gram(rng, 50, 6, nil)
+	orig := w.Clone()
+	PCholCP(w, 1e-5)
+	if !mat.EqualApprox(w, orig, 0) {
+		t.Fatal("PCholCP modified its input")
+	}
+}
+
+func TestPCholCPMatchesUnpivotedOnIdentityGram(t *testing.T) {
+	// For W = I, no pivoting happens and R = I.
+	res := PCholCP(mat.Identity(6), 1e-5)
+	if res.NPiv != 6 {
+		t.Fatalf("NPiv = %d, want 6", res.NPiv)
+	}
+	if !mat.EqualApprox(res.R, mat.Identity(6), 1e-15) {
+		t.Fatal("R != I for W = I")
+	}
+	for j, v := range res.Perm {
+		if v != j {
+			t.Fatalf("perm should be identity, got %v", res.Perm)
+		}
+	}
+}
+
+func TestPCholCPNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PCholCP(mat.NewDense(3, 4), 0)
+}
+
+func TestPCholCPEpsilonMonotone(t *testing.T) {
+	// As ε decreases the stopping rule only gets weaker, so the number of
+	// factored columns must be non-decreasing.
+	rng := rand.New(rand.NewSource(75))
+	w := gram(rng, 300, 12, func(j int) float64 { return math.Pow(10, -float64(j)/2) })
+	prev := 0
+	for _, eps := range []float64{1e-1, 1e-3, 1e-6, 1e-12, 0} {
+		res := PCholCP(w, eps)
+		if res.NPiv < prev {
+			t.Fatalf("NPiv not monotone in ε: eps=%g gives %d < previous %d", eps, res.NPiv, prev)
+		}
+		prev = res.NPiv
+	}
+}

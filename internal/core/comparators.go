@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+	"repro/mat"
+)
+
+// InnerQR selects the unpivoted QR kernel used inside the comparator
+// algorithms of §V.
+type InnerQR int
+
+const (
+	// InnerCholQR2 uses CholeskyQR2 (fails for κ₂ ≳ 1e8).
+	InnerCholQR2 InnerQR = iota
+	// InnerShiftedCholQR3 uses shifted CholeskyQR3 (any κ₂).
+	InnerShiftedCholQR3
+	// InnerTSQR uses the Householder reduction tree (any κ₂).
+	InnerTSQR
+	// InnerHouseholder uses plain blocked Householder QR.
+	InnerHouseholder
+)
+
+func runInnerQR(kind InnerQR, a *mat.Dense) (*QR, error) {
+	switch kind {
+	case InnerCholQR2:
+		return CholQR2(a)
+	case InnerShiftedCholQR3:
+		return ShiftedCholQR3(a)
+	case InnerTSQR:
+		return TSQR(a), nil
+	case InnerHouseholder:
+		return HouseholderQR(a), nil
+	default:
+		panic(fmt.Sprintf("core: unknown inner QR kind %d", kind))
+	}
+}
+
+// QRThenQRCP is the comparator approach of Cunha, Becker and Patterson
+// (the paper's reference [30], discussed in §V): first an unpivoted
+// tall-skinny QR A = Q₀·R₀ with a fast CA algorithm, then a small
+// Householder QRCP of the n×n factor, R₀·P = Q₁·R. The result
+// A·P = (Q₀·Q₁)·R is a full QRCP with the same pivots as HQR-CP.
+//
+// The structural drawback the paper points out: the *entire* unpivoted
+// QR must finish before the first pivot is known, so — unlike
+// Ite-CholQR-CP — this approach cannot truncate early for low-rank work.
+func QRThenQRCP(a *mat.Dense, inner InnerQR) (*CPResult, error) {
+	n := a.Cols
+	qr0, err := runInnerQR(inner, a)
+	if err != nil {
+		return nil, err
+	}
+	// Small pivoted QR of the n×n R factor.
+	fac := qr0.R.Clone()
+	tau := make([]float64, n)
+	jpvt := make(mat.Perm, n)
+	lapack.Geqp3(fac, tau, jpvt)
+	r := lapack.ExtractR(fac)
+	lapack.Orgqr(fac, tau) // fac is now the n×n Q₁
+	q := mat.NewDense(a.Rows, n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, qr0.Q, fac, 0, q)
+	return &CPResult{Q: q, R: r, Perm: jpvt}, nil
+}
+
+// RandQRCPOversample is the default sketch oversampling of RandQRCP.
+const RandQRCPOversample = 8
+
+// RandQRCP is a sketch-based randomized QRCP in the Duersch–Gu /
+// Martinsson family the paper surveys in §V: a Gaussian sketch
+// B = Ω·A (d×n with d = n + oversampling) is small enough that its
+// Householder QRCP is cheap; its pivot sequence is adopted wholesale,
+// the columns of A are permuted once, and a fast unpivoted QR of A·P
+// finishes the factorization.
+//
+// Randomized pivots are good for low-rank approximation quality but are
+// not guaranteed to match HQR-CP's greedy sequence — the accuracy caveat
+// the paper raises when declining to adopt randomized methods as its
+// baseline.
+func RandQRCP(a *mat.Dense, rng *rand.Rand, inner InnerQR) (*CPResult, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("core: RandQRCP needs m ≥ n, got %d×%d", m, n))
+	}
+	d := n + RandQRCPOversample
+	if d > m {
+		d = m
+	}
+	// Sketch B = Ω·A with Ω d×m Gaussian, scaled for unbiased norms.
+	omega := mat.NewDense(d, m)
+	scale := 1 / math.Sqrt(float64(d))
+	for i := range omega.Data {
+		omega.Data[i] = scale * rng.NormFloat64()
+	}
+	b := mat.NewDense(d, n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, omega, a, 0, b)
+	// Pivots from the small sketch.
+	tau := make([]float64, min(d, n))
+	jpvt := make(mat.Perm, n)
+	lapack.Geqp3(b, tau, jpvt)
+	// One bulk permutation of A, then a fast unpivoted QR.
+	ap := mat.NewDense(m, n)
+	mat.PermuteCols(ap, a, jpvt)
+	qr, err := runInnerQR(inner, ap)
+	if err != nil {
+		return nil, err
+	}
+	return &CPResult{Q: qr.Q, R: qr.R, Perm: jpvt}, nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/lapack"
+	"repro/mat"
+	"repro/metrics"
+	"repro/testmat"
+)
+
+func TestTSQRMatchesHouseholder(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	for _, sh := range []struct{ m, n int }{
+		{100, 10},  // single leaf
+		{5000, 16}, // two levels
+		{9000, 7},  // uneven split, three levels
+		{4097, 33}, // odd row count
+	} {
+		a := testmat.GenerateWellConditioned(rng, sh.m, sh.n, 1e6)
+		qr := TSQR(a)
+		if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
+			t.Fatalf("%dx%d: orthogonality %g", sh.m, sh.n, e)
+		}
+		if res := metrics.Residual(a, qr.Q, qr.R, mat.IdentityPerm(sh.n)); res > 1e-13 {
+			t.Fatalf("%dx%d: residual %g", sh.m, sh.n, res)
+		}
+		if !qr.R.IsUpperTriangular(0) {
+			t.Fatal("R not upper triangular")
+		}
+	}
+}
+
+func TestTSQRIllConditioned(t *testing.T) {
+	// TSQR is Householder throughout: it must survive κ₂ where CholQR2
+	// breaks down.
+	rng := rand.New(rand.NewSource(162))
+	a := testmat.GenerateWellConditioned(rng, 6000, 12, 1e14)
+	if _, err := CholQR2(a); err == nil {
+		t.Log("CholQR2 survived 1e14 (unusual but possible); continuing")
+	}
+	qr := TSQR(a)
+	if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
+		t.Fatalf("TSQR orthogonality %g at κ=1e14", e)
+	}
+}
+
+func TestTSQRPanicsOnWide(t *testing.T) {
+	mustPanicC(t, func() { TSQR(mat.NewDense(3, 5)) })
+}
+
+func TestQRThenQRCPMatchesHQRCPPivots(t *testing.T) {
+	// §V: the Cunha–Patterson comparator selects the same pivots as
+	// HQR-CP (both run Householder QRCP — one on A, one on R₀).
+	rng := rand.New(rand.NewSource(163))
+	// Full-rank κ₂=1e6 matrix so even the CholQR2 inner kernel is usable;
+	// the rank-deficient case is covered by the robust-inner test below.
+	for _, inner := range []InnerQR{InnerCholQR2, InnerTSQR, InnerHouseholder} {
+		a := testmat.Generate(rng, 2000, 24, 24, 1e-6)
+		ref := HQRCP(a)
+		res, err := QRThenQRCP(a, inner)
+		if err != nil {
+			t.Fatalf("inner=%d: %v", inner, err)
+		}
+		if !metrics.AllCorrect(res.Perm, ref.Perm, 24) {
+			t.Fatalf("inner=%d: pivots differ:\n got %v\n ref %v", inner, res.Perm, ref.Perm)
+		}
+		checkCP(t, "qr-then-qrcp", a, res, 1e-12, 1e-12)
+	}
+}
+
+func TestQRThenQRCPIllConditionedNeedsRobustInner(t *testing.T) {
+	rng := rand.New(rand.NewSource(164))
+	a := testmat.Generate(rng, 3000, 16, 16, 1e-13)
+	// CholQR2 inner breaks down...
+	if _, err := QRThenQRCP(a, InnerCholQR2); err == nil {
+		t.Log("CholQR2 inner unexpectedly survived κ=1e13")
+	}
+	// ...shifted CholQR3 and TSQR handle it.
+	for _, inner := range []InnerQR{InnerShiftedCholQR3, InnerTSQR} {
+		res, err := QRThenQRCP(a, inner)
+		if err != nil {
+			t.Fatalf("inner=%d: %v", inner, err)
+		}
+		checkCP(t, "qr-then-qrcp-ill", a, res, 1e-12, 1e-12)
+	}
+}
+
+func TestRandQRCPLowRankQuality(t *testing.T) {
+	// Randomized pivots need not equal HQR-CP's, but the rank-revealing
+	// quality must hold: leading block well conditioned, trailing block
+	// small.
+	rng := rand.New(rand.NewSource(165))
+	m, n, r := 3000, 24, 10
+	a := testmat.Generate(rng, m, n, r, 1e-3)
+	res, err := RandQRCP(a, rng, InnerHouseholder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Perm.IsValid() {
+		t.Fatalf("invalid perm %v", res.Perm)
+	}
+	if e := metrics.Orthogonality(res.Q); e > 1e-13 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	if rr := metrics.Residual(a, res.Q, res.R, res.Perm); rr > 1e-13 {
+		t.Fatalf("residual %g", rr)
+	}
+	// Rank-revealing quality: σ_min(R₁₁) within a modest factor of σ_r.
+	sv := lapack.JacobiSVDValues(res.R.Slice(0, r, 0, r))
+	if sv[r-1] < 1e-3/50 {
+		t.Fatalf("σ_min(R₁₁) = %g, want ≳ σ_r = 1e-3", sv[r-1])
+	}
+	if nr := metrics.NormR22(res.R, r); nr > 1e-10 {
+		t.Fatalf("‖R₂₂‖₂ = %g for rank-%d matrix", nr, r)
+	}
+}
+
+func TestRandQRCPSmallMatrix(t *testing.T) {
+	// d = n + oversample capped at m.
+	rng := rand.New(rand.NewSource(166))
+	a := testmat.GenerateWellConditioned(rng, 10, 8, 100)
+	res, err := RandQRCP(a, rng, InnerHouseholder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCP(t, "rand-small", a, res, 1e-13, 1e-13)
+}
+
+func TestRandQRCPPanicsOnWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	mustPanicC(t, func() { RandQRCP(mat.NewDense(3, 5), rng, InnerHouseholder) }) //nolint:errcheck
+}
+
+func TestRunInnerQRUnknownPanics(t *testing.T) {
+	mustPanicC(t, func() { runInnerQR(InnerQR(99), mat.NewDense(4, 2)) }) //nolint:errcheck
+}
+
+func TestLUCholQR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(168))
+	for _, cond := range []float64{1e2, 1e8, 1e13} {
+		a := testmat.GenerateWellConditioned(rng, 800, 20, cond)
+		qr, err := LUCholQR2(a)
+		if err != nil {
+			t.Fatalf("κ=%g: %v", cond, err)
+		}
+		if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
+			t.Fatalf("κ=%g: orthogonality %g", cond, e)
+		}
+		if res := metrics.Residual(a, qr.Q, qr.R, mat.IdentityPerm(20)); res > 1e-12 {
+			t.Fatalf("κ=%g: residual %g", cond, res)
+		}
+		if !qr.R.IsUpperTriangular(0) {
+			t.Fatal("R not upper triangular")
+		}
+	}
+}
+
+func TestLUCholQR2ExactlySingular(t *testing.T) {
+	a := mat.NewDense(10, 3)
+	if _, err := LUCholQR2(a); err == nil {
+		t.Fatal("zero matrix must error")
+	}
+	mustPanicC(t, func() { LUCholQR2(mat.NewDense(2, 5)) }) //nolint:errcheck
+}
+
+func TestRandCholQR(t *testing.T) {
+	rng := rand.New(rand.NewSource(169))
+	for _, cond := range []float64{1e2, 1e9, 1e13} {
+		a := testmat.GenerateWellConditioned(rng, 1200, 16, cond)
+		qr, err := RandCholQR(a, rng)
+		if err != nil {
+			t.Fatalf("κ=%g: %v", cond, err)
+		}
+		if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
+			t.Fatalf("κ=%g: orthogonality %g", cond, e)
+		}
+		if res := metrics.Residual(a, qr.Q, qr.R, mat.IdentityPerm(16)); res > 1e-12 {
+			t.Fatalf("κ=%g: residual %g", cond, res)
+		}
+		if !qr.R.IsUpperTriangular(0) {
+			t.Fatal("R not upper triangular")
+		}
+	}
+}
+
+func TestRandCholQRSmallM(t *testing.T) {
+	// d = 2n capped at m.
+	rng := rand.New(rand.NewSource(170))
+	a := testmat.GenerateWellConditioned(rng, 12, 10, 100)
+	qr, err := RandCholQR(a, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	mustPanicC(t, func() { RandCholQR(mat.NewDense(3, 5), rng) }) //nolint:errcheck
+}

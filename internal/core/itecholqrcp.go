@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/cholcp"
+	"repro/internal/lapack"
+	"repro/mat"
+)
+
+// DefaultPivotTol is the paper's recommended tolerance ε ≈ 10⁻⁵ for
+// P-Chol-CP inside Ite-CholQR-CP (§III-D2). With this setting the
+// algorithm typically needs 3 pivoting iterations plus one
+// reorthogonalization pass for κ₂(A) up to ~10¹⁶.
+const DefaultPivotTol = 1e-5
+
+// DefaultMaxIterations bounds the number of pivoting iterations; the
+// expected count is ⌈log κ₂(A) / log(1/ε)⌉ ≲ 4, so hitting this bound
+// indicates a stall (e.g. a structurally zero trailing block).
+const DefaultMaxIterations = 64
+
+// ErrStall reports that an Ite-CholQR-CP iteration could not fix any new
+// pivot, which happens only when the remaining columns are exactly
+// (not just numerically) linearly dependent or zero.
+var ErrStall = errors.New("core: Ite-CholQR-CP stalled: remaining columns are exactly rank deficient")
+
+// CPResult is a QR factorization with column pivoting A·P = Q·R.
+type CPResult struct {
+	// Q is m×n with orthonormal columns.
+	Q *mat.Dense
+	// R is n×n upper triangular.
+	R *mat.Dense
+	// Perm maps position j to the original column: (A·P)(:,j) = A(:,Perm[j]).
+	Perm mat.Perm
+	// Iterations is the number of pivoting iterations performed
+	// (Ite-CholQR-CP only; the final reorthogonalization pass is not
+	// counted). The total Gram/TRSM sweep count is Iterations+1.
+	Iterations int
+	// PivotCounts[i] is the number of pivots fixed in iteration i
+	// (Ite-CholQR-CP only).
+	PivotCounts []int
+	// PivotIter[j] is the (0-based) iteration in which position j's pivot
+	// was fixed (Ite-CholQR-CP only). Used to reproduce Fig. 3.
+	PivotIter []int
+}
+
+// IteCholQRCP computes the QR factorization with column pivoting of a tall
+// and skinny matrix by the paper's Iterative Cholesky QR with Column
+// Pivoting (Algorithm 4) with tolerance eps (use DefaultPivotTol).
+//
+// Each iteration forms the Gram matrix W = AᵀA (one GEMM/SYRK and, in the
+// distributed version, the only collective), Cholesky-factors the
+// already-fixed leading block, eliminates its coupling to the remainder,
+// runs P-Chol-CP on the trailing Schur complement to fix the next batch of
+// trustworthy pivots, and applies the inverse of the combined triangular
+// factor to A (one TRSM). After all n pivots are fixed, one plain CholQR
+// pass reorthogonalizes the result, exactly as in CholeskyQR2.
+func IteCholQRCP(a *mat.Dense, eps float64) (*CPResult, error) {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("core: IteCholQRCP needs a tall matrix, got %d×%d", a.Rows, a.Cols))
+	}
+	return iteCholQRCP(a, eps, DefaultMaxIterations, nil, blas.Gram)
+}
+
+// IteCholQRCPGram runs Algorithm 4 with a pluggable Gram computation and
+// works on the local row block of a distributed matrix: every replicated
+// step (P-Chol-CP, triangular assembly, permutation accumulation) is
+// deterministic, so all ranks stay in lockstep as long as gram returns
+// identical bits everywhere — which an Allreduce guarantees.
+func IteCholQRCPGram(a *mat.Dense, eps float64, gram GramFunc, trace IterTrace) (*CPResult, error) {
+	return iteCholQRCP(a, eps, DefaultMaxIterations, trace, gram)
+}
+
+// IterTrace receives per-iteration state for instrumentation (used by the
+// experiment harness to reproduce Fig. 3). It is called after each
+// pivoting iteration with the iteration index, the number of new pivots,
+// and the permutation accumulated so far.
+type IterTrace func(iter, newPivots int, perm mat.Perm)
+
+// IteCholQRCPTraced is IteCholQRCP with a per-iteration callback.
+func IteCholQRCPTraced(a *mat.Dense, eps float64, trace IterTrace) (*CPResult, error) {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("core: IteCholQRCP needs a tall matrix, got %d×%d", a.Rows, a.Cols))
+	}
+	return iteCholQRCP(a, eps, DefaultMaxIterations, trace, blas.Gram)
+}
+
+func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, trace IterTrace, gram GramFunc) (*CPResult, error) {
+	m, n := a.Rows, a.Cols
+	if eps < 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: IteCholQRCP tolerance %g outside [0,1)", eps))
+	}
+	aw := a.Clone()             // A^(i), updated in place
+	rTotal := mat.Identity(n)   // accumulated R
+	perm := mat.IdentityPerm(n) // accumulated P
+	w := mat.NewDense(n, n)     // Gram workspace
+	rp := mat.NewDense(n, n)    // R′ workspace, reused across iterations
+	res := &CPResult{PivotIter: make([]int, n)}
+
+	k := 0
+	for iter := 0; k < n; iter++ {
+		if iter >= maxIter {
+			return nil, ErrStall
+		}
+		// Line 3: W := AᵀA.
+		gram(w, aw)
+
+		rp.Zero()
+		if k > 0 {
+			// Lines 4–6: factor the fixed block and eliminate coupling.
+			r11 := rp.Slice(0, k, 0, k)
+			r11.Copy(w.Slice(0, k, 0, k))
+			if err := lapack.PotrfUpper(r11); err != nil {
+				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
+			}
+			lapack.ZeroLower(r11)
+			r12 := rp.Slice(0, k, k, n)
+			r12.Copy(w.Slice(0, k, k, n))
+			blas.TrsmLeftUpperTrans(r11, r12) // R₁₂ := R₁₁⁻ᵀ·W₁₂
+			// W̃₂₂ := W₂₂ − R₁₂ᵀ·R₁₂ (Schur complement of the fixed block).
+			w22 := w.Slice(k, n, k, n)
+			blas.Gemm(blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
+		}
+
+		// Line 7: P-Chol-CP on the trailing Schur complement.
+		pres := cholcp.PCholCP(w.Slice(k, n, k, n), eps)
+		kNew := pres.NPiv
+		if kNew == 0 {
+			return nil, ErrStall
+		}
+		// Line 8: permute the trailing columns of A.
+		mat.PermuteColsInPlace(aw.Slice(0, m, k, n), pres.Perm)
+		if k > 0 {
+			// Line 9: permute the coupling block of R′ consistently.
+			mat.PermuteColsInPlace(rp.Slice(0, k, k, n), pres.Perm)
+		}
+		// Line 10: assemble R′ = [R₁₁ R₁₂; 0 R₂₂].
+		rp.Slice(k, n, k, n).Copy(pres.R)
+
+		// Line 11: A := A·R′⁻¹.
+		blas.TrsmRightUpperNoTrans(aw, rp)
+
+		// Line 12 with the conjugation of Eq. (14): the accumulated R's
+		// trailing columns are permuted by P′ (its trailing identity block
+		// is invariant), then R := R′·R.
+		if k > 0 {
+			mat.PermuteColsInPlace(rTotal.Slice(0, k, k, n), pres.Perm)
+		}
+		blas.TrmmLeftUpperNoTrans(rp, rTotal)
+
+		// Lines 13–14: accumulate the permutation P := P·P″.
+		for j := 0; j < kNew; j++ {
+			res.PivotIter[k+j] = iter
+		}
+		applyTrailingPerm(perm, k, pres.Perm)
+
+		k += kNew
+		res.Iterations = iter + 1
+		res.PivotCounts = append(res.PivotCounts, kNew)
+		if trace != nil {
+			trace(iter, kNew, perm.Clone())
+		}
+	}
+
+	// Line 17: reorthogonalization by one plain CholQR pass.
+	rre, err := CholQRInPlaceGram(aw, gram)
+	if err != nil {
+		return nil, err
+	}
+	blas.TrmmLeftUpperNoTrans(rre, rTotal) // R := R_reortho·R
+	res.Q = aw
+	res.R = rTotal
+	res.Perm = perm
+	return res, nil
+}
+
+// applyTrailingPerm computes p := p·P″ where P″ = diag(I_k, tp):
+// positions ≥ k are re-mapped through tp.
+func applyTrailingPerm(p mat.Perm, k int, tp mat.Perm) {
+	old := make(mat.Perm, len(p)-k)
+	copy(old, p[k:])
+	for j, v := range tp {
+		p[k+j] = old[v]
+	}
+}

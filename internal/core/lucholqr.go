@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+	"repro/mat"
+)
+
+// LUCholQR2 computes the thin QR factorization by the LU-Cholesky QR
+// algorithm of Terao, Ozaki and Ogita (2020 — the paper's reference [9]):
+//
+//  1. P·A = L·U by Gaussian elimination with partial pivoting;
+//  2. Cholesky QR of the unit lower trapezoidal L — safe regardless of
+//     κ₂(A), because partial pivoting bounds L's entries by 1 and keeps
+//     κ₂(L) small — giving L = Q̃·R_L;
+//  3. A = (Pᵀ·Q̃)·(R_L·U), followed by one CholQR reorthogonalization
+//     pass for Householder-level orthogonality.
+//
+// Like ShiftedCholQR3 this handles matrices far beyond the κ₂ ≈ u^(−1/2)
+// breakdown point of plain Cholesky QR, trading the shifted passes for
+// one LU factorization.
+func LUCholQR2(a *mat.Dense) (*QR, error) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("core: LUCholQR2 needs m ≥ n, got %d×%d", m, n))
+	}
+	fac := a.Clone()
+	ipiv := make([]int, n)
+	if err := lapack.Getrf(fac, ipiv); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
+	}
+	l, u := lapack.ExtractLU(fac)
+	// Cholesky QR of the well-conditioned L.
+	rl, err := cholQRInPlace(l)
+	if err != nil {
+		return nil, err
+	}
+	// Undo the row pivoting: Q := Pᵀ·Q̃.
+	lapack.ApplyIpiv(l, ipiv, false)
+	// R := R_L·U.
+	blas.TrmmLeftUpperNoTrans(rl, u)
+	// Reorthogonalization pass (the "2" in LU-CholeskyQR2).
+	r2, err := cholQRInPlace(l)
+	if err != nil {
+		return nil, err
+	}
+	blas.TrmmLeftUpperNoTrans(r2, u)
+	return &QR{Q: l, R: u}, nil
+}

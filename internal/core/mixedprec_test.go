@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/mat"
+	"repro/metrics"
+	"repro/testmat"
+)
+
+func TestCholQRMixedWellConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	a := testmat.GenerateWellConditioned(rng, 2000, 16, 10)
+	qr, err := CholQRMixed(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Orthogonality limited by single-precision roundoff, not double.
+	e := metrics.Orthogonality(qr.Q)
+	if e > 1e-4 {
+		t.Fatalf("orthogonality %g too poor even for fp32 Gram", e)
+	}
+	if e < 1e-12 {
+		t.Fatalf("orthogonality %g suspiciously good: fp32 path not exercised?", e)
+	}
+	// The residual is governed by the double-precision TRSM and stays
+	// small relative to the single-precision Gram error.
+	if res := metrics.Residual(a, qr.Q, qr.R, mat.IdentityPerm(16)); res > 1e-4 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestCholQRMixedBreaksDownEarlier(t *testing.T) {
+	// κ₂ = 1e6 is fine for double-precision CholQR but far beyond the
+	// fp32 breakdown point u₃₂^(−1/2) ≈ 4e3.
+	rng := rand.New(rand.NewSource(232))
+	a := testmat.GenerateWellConditioned(rng, 1000, 12, 1e6)
+	if _, err := CholQR(a); err != nil {
+		t.Fatalf("double-precision CholQR should handle κ=1e6: %v", err)
+	}
+	if _, err := CholQRMixed(a); err == nil {
+		t.Fatal("fp32-Gram CholQR should break down at κ=1e6")
+	}
+}
+
+func TestCholQRMixedOrthogonalityGapVsDouble(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	a := testmat.GenerateWellConditioned(rng, 3000, 20, 50)
+	mixed, err := CholQRMixed(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	double, err := CholQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := metrics.Orthogonality(mixed.Q)
+	ed := metrics.Orthogonality(double.Q)
+	if em < 1e4*ed {
+		t.Fatalf("expected ≳4 orders orthogonality gap: fp32 %g vs fp64 %g", em, ed)
+	}
+}
+
+func TestCholQRMixedPanicsOnWide(t *testing.T) {
+	mustPanicC(t, func() { CholQRMixed(mat.NewDense(3, 5)) }) //nolint:errcheck
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/cholcp"
+	"repro/internal/lapack"
+	"repro/mat"
+)
+
+// PartialResult is a truncated pivoted factorization
+//
+//	A·P ≈ Q₁·R₁,   Q₁ ∈ R^(m×k), R₁ ∈ R^(k×n),
+//
+// with the approximation error governed by the discarded trailing block:
+// ‖A·P − Q₁·R₁‖₂ ≈ σ_(k+1)(A). This is the truncation mode the paper
+// highlights as a structural advantage of Ite-CholQR-CP (§V): the
+// iteration can stop as soon as k trustworthy pivots are fixed, without
+// ever orthogonalizing the full column set.
+type PartialResult struct {
+	Q    *mat.Dense // m×k, orthonormal columns
+	R    *mat.Dense // k×n
+	Perm mat.Perm
+	// Rank is k, the number of columns actually factored: the requested
+	// rank, or less when the matrix's numerical rank is smaller (the
+	// trailing Schur complement collapsed first).
+	Rank       int
+	Iterations int
+}
+
+// IteCholQRCPPartial runs Ite-CholQR-CP until at least targetRank pivots
+// are fixed or the remaining columns fall below the pivot tolerance, then
+// reorthogonalizes only the leading block — a truncated QRCP. Pass
+// targetRank = n for a full factorization via this code path.
+func IteCholQRCPPartial(a *mat.Dense, eps float64, targetRank int) (*PartialResult, error) {
+	if a.Rows < a.Cols {
+		panic(fmt.Sprintf("core: IteCholQRCPPartial needs a tall matrix, got %d×%d", a.Rows, a.Cols))
+	}
+	return IteCholQRCPPartialGram(a, eps, targetRank, blas.Gram)
+}
+
+// IteCholQRCPPartialGram is the truncated factorization with a pluggable
+// Gram computation; with an Allreduce-backed gram it runs on the local
+// row block of a distributed matrix (see dist.IteCholQRCPTruncated).
+func IteCholQRCPPartialGram(a *mat.Dense, eps float64, targetRank int, gram GramFunc) (*PartialResult, error) {
+	m, n := a.Rows, a.Cols
+	if targetRank < 1 || targetRank > n {
+		panic(fmt.Sprintf("core: target rank %d outside [1,%d]", targetRank, n))
+	}
+	if eps < 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: tolerance %g outside [0,1)", eps))
+	}
+	aw := a.Clone()
+	rTotal := mat.Identity(n)
+	perm := mat.IdentityPerm(n)
+	w := mat.NewDense(n, n)
+
+	k := 0
+	iters := 0
+	for k < targetRank {
+		if iters >= DefaultMaxIterations {
+			return nil, ErrStall
+		}
+		gram(w, aw)
+		rp := mat.NewDense(n, n)
+		if k > 0 {
+			r11 := rp.Slice(0, k, 0, k)
+			r11.Copy(w.Slice(0, k, 0, k))
+			if err := lapack.PotrfUpper(r11); err != nil {
+				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
+			}
+			lapack.ZeroLower(r11)
+			r12 := rp.Slice(0, k, k, n)
+			r12.Copy(w.Slice(0, k, k, n))
+			blas.TrsmLeftUpperTrans(r11, r12)
+			w22 := w.Slice(k, n, k, n)
+			blas.Gemm(blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
+		}
+		pres := cholcp.PCholCPMax(w.Slice(k, n, k, n), eps, targetRank-k)
+		if pres.NPiv == 0 {
+			if k > 0 {
+				break // remaining columns are negligible: truncate here
+			}
+			return nil, ErrStall
+		}
+		mat.PermuteColsInPlace(aw.Slice(0, m, k, n), pres.Perm)
+		if k > 0 {
+			mat.PermuteColsInPlace(rp.Slice(0, k, k, n), pres.Perm)
+			mat.PermuteColsInPlace(rTotal.Slice(0, k, k, n), pres.Perm)
+		}
+		rp.Slice(k, n, k, n).Copy(pres.R)
+		blas.TrsmRightUpperNoTrans(aw, rp)
+		blas.TrmmLeftUpperNoTrans(rp, rTotal)
+		applyTrailingPerm(perm, k, pres.Perm)
+		k += pres.NPiv
+		iters++
+	}
+
+	// Reorthogonalize only the leading k columns and fold the correction
+	// into the first k rows of the accumulated R.
+	q1 := aw.Slice(0, m, 0, k).Clone()
+	rre, err := CholQRInPlaceGram(q1, gram)
+	if err != nil {
+		return nil, err
+	}
+	r1 := rTotal.Slice(0, k, 0, n).Clone()
+	blas.TrmmLeftUpperNoTrans(rre, r1) // R₁ := R_reortho·R₁ (k×k times k×n)
+	return &PartialResult{Q: q1, R: r1, Perm: perm, Rank: k, Iterations: iters}, nil
+}

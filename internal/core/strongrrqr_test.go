@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/lapack"
+	"repro/mat"
+	"repro/metrics"
+	"repro/testmat"
+)
+
+// kahanTall embeds a Kahan matrix in a tall matrix by orthogonal row
+// mixing: the singular structure is preserved, the shape becomes m×n.
+func kahanTall(rng *rand.Rand, m, n int, theta float64) *mat.Dense {
+	s, c := math.Sin(theta), math.Cos(theta)
+	k := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		d := math.Pow(s, float64(i))
+		k.Set(i, i, d*(1+1e-11*rng.NormFloat64()))
+		for j := i + 1; j < n; j++ {
+			k.Set(i, j, -c*d)
+		}
+	}
+	u := testmat.RandomOrtho(rng, m, n)
+	a := mat.NewDense(m, n)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, u, k, 0, a)
+	return a
+}
+
+func TestStrongRRQRInvariantsAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	m, n, k := 300, 20, 12
+	a := testmat.Generate(rng, m, n, n, 1e-6)
+	res, err := StrongRRQR(a, k, DefaultStrongRRQRF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCP(t, "strong-rrqr", a, res, 1e-13, 1e-13)
+	// Gu–Eisenstat certificate: the criterion holds at exit.
+	_, _, rho := worstPair(res.R, k, DefaultStrongRRQRF)
+	if rho > DefaultStrongRRQRF*(1+1e-10) {
+		t.Fatalf("exit criterion violated: ρ = %g > f = %g", rho, DefaultStrongRRQRF)
+	}
+	// Bound: σ_min(R₁₁) ≥ σ_k/√(1+f²k(n−k)).
+	sv := lapack.JacobiSVDValues(a)
+	r11min := lapack.JacobiSVDValues(res.R.Slice(0, k, 0, k))[k-1]
+	bound := sv[k-1] / math.Sqrt(1+DefaultStrongRRQRF*DefaultStrongRRQRF*float64(k*(n-k)))
+	if r11min < bound*(1-1e-8) {
+		t.Fatalf("σ_min(R₁₁) = %g below guarantee %g", r11min, bound)
+	}
+}
+
+func TestStrongRRQRImprovesKahan(t *testing.T) {
+	// On the Kahan matrix greedy QRCP underestimates the gap; strong RRQR
+	// must certify a σ_min(R₁₁) within its guarantee of σ_k.
+	rng := rand.New(rand.NewSource(222))
+	m, n := 200, 40
+	k := n - 1
+	a := kahanTall(rng, m, n, 1.25)
+	res, err := StrongRRQR(a, k, DefaultStrongRRQRF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCP(t, "strong-kahan", a, res, 1e-12, 1e-12)
+	sv := lapack.JacobiSVDValues(a)
+	r11min := lapack.JacobiSVDValues(res.R.Slice(0, k, 0, k))[k-1]
+	bound := sv[k-1] / math.Sqrt(1+DefaultStrongRRQRF*DefaultStrongRRQRF*float64(k*(n-k)))
+	if r11min < bound*(1-1e-8) {
+		t.Fatalf("Kahan: σ_min(R₁₁) = %g below strong-RRQR guarantee %g (σ_k = %g)",
+			r11min, bound, sv[k-1])
+	}
+	// ‖R₂₂‖ bounded relative to σ_(k+1).
+	f2 := DefaultStrongRRQRF * DefaultStrongRRQRF
+	if nr := metrics.NormR22(res.R, k); nr > sv[k]*math.Sqrt(1+f2*float64(k*(n-k)))*(1+1e-8) {
+		t.Fatalf("Kahan: ‖R₂₂‖₂ = %g above guarantee (σ_(k+1) = %g)", nr, sv[k])
+	}
+}
+
+func TestStrongRRQRNoSwapsOnCleanMatrix(t *testing.T) {
+	// For a generic graded matrix the greedy pivots already satisfy the
+	// criterion; strong RRQR must return the same permutation as HQR-CP.
+	rng := rand.New(rand.NewSource(223))
+	a := testmat.Generate(rng, 250, 16, 16, 1e-4)
+	ref := HQRCPNoQ(a)
+	res, err := StrongRRQR(a, 8, 10) // generous f: no swaps expected
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range ref.Perm {
+		if res.Perm[j] != ref.Perm[j] {
+			t.Fatalf("unexpected swap: %v vs %v", res.Perm, ref.Perm)
+		}
+	}
+}
+
+func TestStrongRRQRPanics(t *testing.T) {
+	a := mat.NewDense(10, 5)
+	mustPanicC(t, func() { StrongRRQR(a, 0, 2) })                  //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(a, 6, 2) })                  //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(a, 3, 1) })                  //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(mat.NewDense(3, 5), 2, 2) }) //nolint:errcheck
+}
+
+func TestTournamentPivotsValidPerm(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	a := testmat.Generate(rng, 200, 24, 24, 1e-4)
+	for _, group := range []int{4, 6, 8, 24} {
+		perm := TournamentPivots(a, 8, group)
+		if !perm.IsValid() {
+			t.Fatalf("group=%d: invalid perm %v", group, perm)
+		}
+	}
+	// groupCols defaulting.
+	if p := TournamentPivots(a, 8, 0); !p.IsValid() {
+		t.Fatal("default groupCols: invalid perm")
+	}
+}
+
+func TestTournamentPivotQuality(t *testing.T) {
+	// The tournament winners must span the dominant subspace: σ_min of
+	// the selected k columns within a modest factor of σ_k(A).
+	rng := rand.New(rand.NewSource(225))
+	m, n, k := 400, 24, 8
+	a := testmat.Generate(rng, m, n, n, 1e-6)
+	perm := TournamentPivots(a, k, 6)
+	sel := mat.NewDense(m, k)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			sel.Set(i, j, a.At(i, perm[j]))
+		}
+	}
+	svSel := lapack.JacobiSVDValues(sel)
+	svAll := lapack.JacobiSVDValues(a)
+	if svSel[k-1] < svAll[k-1]/100 {
+		t.Fatalf("tournament selection degenerate: σ_min(sel) = %g, σ_k(A) = %g",
+			svSel[k-1], svAll[k-1])
+	}
+}
+
+func TestTournamentQRCPTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(226))
+	m, n, r := 300, 20, 9
+	a := testmat.Generate(rng, m, n, r, 1e-3)
+	res, err := TournamentQRCP(a, r, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rank != r {
+		t.Fatalf("rank %d, want %d", res.Rank, r)
+	}
+	if e := metrics.Orthogonality(res.Q); e > 1e-13 {
+		t.Fatalf("orthogonality %g", e)
+	}
+	ap := mat.NewDense(m, n)
+	mat.PermuteCols(ap, a, res.Perm)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, res.Q, res.R, 1, ap)
+	if rel := ap.FrobeniusNorm() / a.FrobeniusNorm(); rel > 1e-10 {
+		t.Fatalf("truncated residual %g for exact-rank matrix", rel)
+	}
+}
+
+func TestTournamentPanics(t *testing.T) {
+	a := mat.NewDense(10, 5)
+	mustPanicC(t, func() { TournamentPivots(a, 0, 2) })
+	mustPanicC(t, func() { TournamentPivots(a, 6, 2) })
+	mustPanicC(t, func() { TournamentPivots(mat.NewDense(2, 5), 3, 2) })
+}

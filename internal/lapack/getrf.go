@@ -1,0 +1,143 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/blas"
+	"repro/mat"
+)
+
+// luBlock is the panel width of the blocked LU factorization.
+const luBlock = 32
+
+// SingularError reports an exactly singular pivot during LU factorization.
+type SingularError struct {
+	Index int
+}
+
+func (e *SingularError) Error() string {
+	return fmt.Sprintf("lapack: exactly singular LU pivot %d", e.Index)
+}
+
+// Getrf computes the LU factorization with partial (row) pivoting of an
+// m×n matrix (m ≥ n): P·A = L·U with L m×n unit lower trapezoidal and U
+// n×n upper triangular. On return a holds L (strictly below the diagonal,
+// unit diagonal implicit) and U (upper triangle); ipiv records the row
+// interchanges LAPACK-style: at step k, row k was swapped with row
+// ipiv[k] ≥ k.
+//
+// This is the substrate of LU-Cholesky QR (Terao, Ozaki, Ogita 2020 — the
+// paper's reference [9]), which uses L as a preconditioner for Cholesky QR.
+func Getrf(a *mat.Dense, ipiv []int) error {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic(fmt.Sprintf("lapack: Getrf needs m ≥ n, got %d×%d", m, n))
+	}
+	if len(ipiv) < n {
+		panic(fmt.Sprintf("lapack: Getrf ipiv length %d < %d", len(ipiv), n))
+	}
+	for k0 := 0; k0 < n; k0 += luBlock {
+		kb := min(luBlock, n-k0)
+		// Factor the panel a(k0:m, k0:k0+kb) with partial pivoting.
+		for k := k0; k < k0+kb; k++ {
+			// Pivot: largest |a(i,k)| for i ≥ k.
+			p := k
+			pv := math.Abs(a.At(k, k))
+			for i := k + 1; i < m; i++ {
+				if av := math.Abs(a.At(i, k)); av > pv {
+					p, pv = i, av
+				}
+			}
+			ipiv[k] = p
+			if pv == 0 {
+				return &SingularError{Index: k}
+			}
+			if p != k {
+				a.SwapRows(k, p)
+			}
+			// Scale the column below the pivot and update the panel.
+			inv := 1 / a.At(k, k)
+			for i := k + 1; i < m; i++ {
+				lik := a.At(i, k) * inv
+				a.Set(i, k, lik)
+				if lik == 0 {
+					continue
+				}
+				row := a.Data[i*a.Stride : i*a.Stride+k0+kb]
+				krow := a.Data[k*a.Stride : k*a.Stride+k0+kb]
+				for j := k + 1; j < k0+kb; j++ {
+					row[j] -= lik * krow[j]
+				}
+			}
+		}
+		if k0+kb >= n {
+			break
+		}
+		// Row swaps were applied to full rows during the panel
+		// factorization, so the trailing columns are already permuted.
+		// U panel: solve the unit-lower triangular system
+		// L(k0:k0+kb, k0:k0+kb) · U = A(k0:k0+kb, k0+kb:n) in place.
+		for k := k0; k < k0+kb; k++ {
+			krow := a.Data[k*a.Stride+k0+kb : k*a.Stride+n]
+			for i := k + 1; i < k0+kb; i++ {
+				lik := a.At(i, k)
+				if lik == 0 {
+					continue
+				}
+				irow := a.Data[i*a.Stride+k0+kb : i*a.Stride+n]
+				for j := range irow {
+					irow[j] -= lik * krow[j]
+				}
+			}
+		}
+		// Trailing update: A₂₂ −= L₂₁·U₁₂ (Level 3).
+		l21 := a.Slice(k0+kb, m, k0, k0+kb)
+		u12 := a.Slice(k0, k0+kb, k0+kb, n)
+		a22 := a.Slice(k0+kb, m, k0+kb, n)
+		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, l21, u12, 1, a22)
+	}
+	return nil
+}
+
+// ExtractLU splits a Getrf result into explicit L (m×n, unit diagonal)
+// and U (n×n) factors.
+func ExtractLU(a *mat.Dense) (l, u *mat.Dense) {
+	m, n := a.Rows, a.Cols
+	l = mat.NewDense(m, n)
+	u = mat.NewDense(n, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			switch {
+			case i > j:
+				l.Set(i, j, a.At(i, j))
+			case i == j:
+				l.Set(i, j, 1)
+				u.Set(i, j, a.At(i, j))
+			default:
+				if i < n {
+					u.Set(i, j, a.At(i, j))
+				}
+			}
+		}
+	}
+	return l, u
+}
+
+// ApplyIpiv applies the recorded row interchanges to b in factorization
+// order (forward = true) or reverse order (undoing them).
+func ApplyIpiv(b *mat.Dense, ipiv []int, forward bool) {
+	if forward {
+		for k := 0; k < len(ipiv); k++ {
+			if ipiv[k] != k {
+				b.SwapRows(k, ipiv[k])
+			}
+		}
+		return
+	}
+	for k := len(ipiv) - 1; k >= 0; k-- {
+		if ipiv[k] != k {
+			b.SwapRows(k, ipiv[k])
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package lapack
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/mat"
+)
+
+func TestGetrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for _, sh := range []struct{ m, n int }{
+		{1, 1}, {5, 5}, {40, 40}, {100, 33}, {65, 64}, {200, 100},
+	} {
+		a := randMat(rng, sh.m, sh.n)
+		fac := a.Clone()
+		ipiv := make([]int, sh.n)
+		if err := Getrf(fac, ipiv); err != nil {
+			t.Fatalf("%dx%d: %v", sh.m, sh.n, err)
+		}
+		l, u := ExtractLU(fac)
+		// P·A must equal L·U.
+		pa := a.Clone()
+		ApplyIpiv(pa, ipiv, true)
+		lu := mat.NewDense(sh.m, sh.n)
+		blas.Gemm(blas.NoTrans, blas.NoTrans, 1, l, u, 0, lu)
+		if !mat.EqualApprox(lu, pa, 1e-11*a.MaxAbs()) {
+			t.Fatalf("%dx%d: L·U != P·A", sh.m, sh.n)
+		}
+		// Partial pivoting bounds |L| by 1.
+		if l.MaxAbs() > 1+1e-14 {
+			t.Fatalf("%dx%d: |L| max %g > 1", sh.m, sh.n, l.MaxAbs())
+		}
+		if !u.IsUpperTriangular(0) {
+			t.Fatal("U not upper triangular")
+		}
+	}
+}
+
+func TestGetrfSingular(t *testing.T) {
+	a := mat.NewDense(4, 3) // zero matrix
+	ipiv := make([]int, 3)
+	err := Getrf(a, ipiv)
+	var serr *SingularError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want SingularError, got %v", err)
+	}
+	if serr.Index != 0 || serr.Error() == "" {
+		t.Fatalf("bad error detail: %+v", serr)
+	}
+}
+
+func TestGetrfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Getrf(mat.NewDense(2, 3), make([]int, 3)) //nolint:errcheck
+}
+
+func TestApplyIpivRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(212))
+	a := randMat(rng, 8, 3)
+	orig := a.Clone()
+	ipiv := []int{3, 5, 2}
+	ApplyIpiv(a, ipiv, true)
+	if mat.EqualApprox(a, orig, 0) {
+		t.Fatal("forward swaps must change the matrix")
+	}
+	ApplyIpiv(a, ipiv, false)
+	if !mat.EqualApprox(a, orig, 0) {
+		t.Fatal("reverse swaps must undo forward swaps")
+	}
+}
+
+func TestGetrfGrowthOnIllConditioned(t *testing.T) {
+	// The pivoted L of an ill-conditioned matrix is still well conditioned
+	// (the property LU-Cholesky QR relies on).
+	rng := rand.New(rand.NewSource(213))
+	m, n := 120, 24
+	a := randMat(rng, m, n)
+	// Grade the columns heavily.
+	for j := 0; j < n; j++ {
+		s := math.Pow(10, -float64(j)/2)
+		for i := 0; i < m; i++ {
+			a.Set(i, j, a.At(i, j)*s)
+		}
+	}
+	fac := a.Clone()
+	ipiv := make([]int, n)
+	if err := Getrf(fac, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	l, _ := ExtractLU(fac)
+	if c := Cond2(l); c > 1e4 {
+		t.Fatalf("κ₂(L) = %g, want small for pivoted LU", c)
+	}
+}

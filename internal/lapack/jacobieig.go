@@ -1,0 +1,97 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/mat"
+)
+
+// JacobiEigSym computes the full eigendecomposition A = V·diag(λ)·Vᵀ of a
+// symmetric matrix by the cyclic two-sided Jacobi method. Eigenvalues are
+// returned in descending order with matching eigenvector columns. Slow
+// (O(n³) per sweep) but highly accurate — it backs the Rayleigh–Ritz step
+// of the subspace-iteration application, where n is a small block size.
+func JacobiEigSym(a *mat.Dense) (vals []float64, vecs *mat.Dense) {
+	n := a.Rows
+	if a.Cols != n {
+		panic(fmt.Sprintf("lapack: JacobiEigSym on %d×%d", n, a.Cols))
+	}
+	w := a.Clone()
+	v := mat.Identity(n)
+	const (
+		maxSweeps = 60
+		tol       = 1e-14
+	)
+	off := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				x := w.At(i, j)
+				s += 2 * x * x
+			}
+		}
+		return math.Sqrt(s)
+	}
+	normA := w.FrobeniusNorm()
+	if normA == 0 {
+		vals = make([]float64, n)
+		return vals, v
+	}
+	for sweep := 0; sweep < maxSweeps && off() > tol*normA; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) <= tol*normA/float64(n) {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				zeta := (aqq - app) / (2 * apq)
+				var t float64
+				if zeta >= 0 {
+					t = 1 / (zeta + math.Sqrt(1+zeta*zeta))
+				} else {
+					t = -1 / (-zeta + math.Sqrt(1+zeta*zeta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				// W := Jᵀ·W·J on rows/columns p, q.
+				for i := 0; i < n; i++ {
+					wip, wiq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wip-s*wiq)
+					w.Set(i, q, s*wip+c*wiq)
+				}
+				for i := 0; i < n; i++ {
+					wpi, wqi := w.At(p, i), w.At(q, i)
+					w.Set(p, i, c*wpi-s*wqi)
+					w.Set(q, i, s*wpi+c*wqi)
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vip-s*viq)
+					v.Set(i, q, s*vip+c*viq)
+				}
+			}
+		}
+	}
+	// Extract and sort descending.
+	type pair struct {
+		val float64
+		idx int
+	}
+	ps := make([]pair, n)
+	for i := 0; i < n; i++ {
+		ps[i] = pair{w.At(i, i), i}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].val > ps[j].val })
+	vals = make([]float64, n)
+	vecs = mat.NewDense(n, n)
+	for j, p := range ps {
+		vals[j] = p.val
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, v.At(i, p.idx))
+		}
+	}
+	return vals, vecs
+}

@@ -1,0 +1,107 @@
+package lapack
+
+import (
+	"fmt"
+	"math"
+
+	"repro/mat"
+)
+
+// TrconUpper1 estimates the 1-norm condition number κ₁(R) = ‖R‖₁·‖R⁻¹‖₁
+// of an upper triangular matrix in O(n²) time, using Higham's power-
+// method estimator for ‖R⁻¹‖₁ (the algorithm behind LAPACK's xTRCON /
+// xLACON). The estimate is a guaranteed lower bound on κ₁ and is almost
+// always within a small factor of it — the right tool for cheap
+// rank-confidence checks where the O(n³) Jacobi-based κ₂ is overkill.
+//
+// Returns +Inf for an exactly singular R.
+func TrconUpper1(r *mat.Dense) float64 {
+	n := r.Rows
+	if r.Cols != n {
+		panic(fmt.Sprintf("lapack: TrconUpper1 on %d×%d", r.Rows, r.Cols))
+	}
+	if n == 0 {
+		return 1
+	}
+	for i := 0; i < n; i++ {
+		if r.At(i, i) == 0 {
+			return math.Inf(1)
+		}
+	}
+	normR := r.OneNorm()
+	// Higham's estimator for ‖R⁻¹‖₁.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	y := make([]float64, n)
+	z := make([]float64, n)
+	est := 0.0
+	for iter := 0; iter < 5; iter++ {
+		// y = R⁻¹·x.
+		copy(y, x)
+		solveUpper(r, y)
+		est = norm1Vec(y)
+		// ξ = sign(y); z = R⁻ᵀ·ξ.
+		for i := range z {
+			if y[i] >= 0 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+		}
+		solveUpperTrans(r, z)
+		// Convergence: ‖z‖_∞ ≤ zᵀx means the current estimate is maximal.
+		j, zinf := 0, 0.0
+		for i, v := range z {
+			if av := math.Abs(v); av > zinf {
+				j, zinf = i, av
+			}
+		}
+		ztx := 0.0
+		for i := range z {
+			ztx += z[i] * x[i]
+		}
+		if zinf <= ztx {
+			break
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+	}
+	return normR * est
+}
+
+// solveUpper solves R·x = b in place (back substitution).
+func solveUpper(r *mat.Dense, x []float64) {
+	n := len(x)
+	for i := n - 1; i >= 0; i-- {
+		row := r.Data[i*r.Stride : i*r.Stride+n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+}
+
+// solveUpperTrans solves Rᵀ·x = b in place (forward substitution).
+func solveUpperTrans(r *mat.Dense, x []float64) {
+	n := len(x)
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= r.At(j, i) * x[j]
+		}
+		x[i] = s / r.At(i, i)
+	}
+}
+
+func norm1Vec(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package lapack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/mat"
+)
+
+func TestTrconDiagonal(t *testing.T) {
+	r := mat.NewDense(3, 3)
+	r.Set(0, 0, 10)
+	r.Set(1, 1, 1)
+	r.Set(2, 2, 0.1)
+	// κ₁ of a diagonal matrix is exactly max/min = 100.
+	got := TrconUpper1(r)
+	if math.Abs(got-100) > 1e-10 {
+		t.Fatalf("κ₁ = %v, want 100", got)
+	}
+}
+
+func TestTrconSingular(t *testing.T) {
+	r := mat.Identity(4)
+	r.Set(2, 2, 0)
+	if got := TrconUpper1(r); !math.IsInf(got, 1) {
+		t.Fatalf("singular κ₁ = %v, want +Inf", got)
+	}
+	if got := TrconUpper1(mat.NewDense(0, 0)); got != 1 {
+		t.Fatalf("empty κ₁ = %v, want 1", got)
+	}
+}
+
+func TestTrconTracksJacobiCondition(t *testing.T) {
+	// The 1-norm estimate must stay within the standard n-factor
+	// equivalence of the Jacobi 2-norm condition number.
+	rng := rand.New(rand.NewSource(321))
+	for _, n := range []int{5, 20, 60} {
+		for _, grade := range []float64{1, 1e-3, 1e-8} {
+			r := mat.NewDense(n, n)
+			for i := 0; i < n; i++ {
+				r.Set(i, i, math.Pow(grade, float64(i)/float64(n-1))*(1+0.1*rng.Float64()))
+				for j := i + 1; j < n; j++ {
+					r.Set(i, j, 0.3*rng.NormFloat64()*r.At(i, i))
+				}
+			}
+			est := TrconUpper1(r)
+			k2 := Cond2(r)
+			nf := float64(n)
+			if est > nf*k2*1.01 || est < k2/(nf*1.01) {
+				t.Fatalf("n=%d grade=%g: κ₁ est %g outside [κ₂/n, n·κ₂] = [%g, %g]",
+					n, grade, est, k2/nf, nf*k2)
+			}
+		}
+	}
+}
+
+func TestTrconIsLowerBoundOnExactK1(t *testing.T) {
+	// Against an exactly computed κ₁ via explicit inverse, the estimator
+	// must never exceed it (Higham's estimate is a lower bound).
+	rng := rand.New(rand.NewSource(322))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		r := mat.NewDense(n, n)
+		for i := 0; i < n; i++ {
+			r.Set(i, i, 0.5+rng.Float64())
+			for j := i + 1; j < n; j++ {
+				r.Set(i, j, rng.NormFloat64())
+			}
+		}
+		// Explicit inverse by n solves.
+		inv := mat.Identity(n)
+		for j := 0; j < n; j++ {
+			col := inv.Col(j, nil)
+			solveUpper(r, col)
+			inv.SetCol(j, col)
+		}
+		exact := r.OneNorm() * inv.OneNorm()
+		est := TrconUpper1(r)
+		if est > exact*(1+1e-10) {
+			t.Fatalf("estimate %g exceeds exact κ₁ %g", est, exact)
+		}
+		if est < exact/100 {
+			t.Fatalf("estimate %g far below exact κ₁ %g", est, exact)
+		}
+	}
+}
+
+func TestTrconPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TrconUpper1(mat.NewDense(2, 3))
+}

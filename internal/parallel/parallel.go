@@ -1,0 +1,134 @@
+// Package parallel provides the shared-memory parallel runtime used by the
+// BLAS and LAPACK substrates: a chunked parallel-for over index ranges and
+// helpers for partitioning work across cores.
+//
+// The paper's reference implementation relies on vendor-threaded BLAS
+// (Intel MKL, Fujitsu SSL2). This package plays that role here: Level-3
+// kernels split their output into row panels and run one goroutine per
+// panel, while Level-2 and Level-1 kernels stay sequential unless the
+// problem is large enough to amortize goroutine startup.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps the number of goroutines any single parallel region may
+// spawn. It defaults to GOMAXPROCS and can be overridden for experiments
+// (e.g. single-threaded baselines) via SetMaxWorkers.
+var (
+	mu         sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetMaxWorkers bounds the parallel width of subsequent parallel regions.
+// n < 1 resets to GOMAXPROCS. It returns the previous value.
+func SetMaxWorkers(n int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := maxWorkers
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	maxWorkers = n
+	return prev
+}
+
+// MaxWorkers reports the current parallel width bound.
+func MaxWorkers() int {
+	mu.RLock()
+	defer mu.RUnlock()
+	return maxWorkers
+}
+
+// Range describes a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len reports the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions [0, n) into at most parts near-equal contiguous ranges,
+// each at least minChunk wide (except possibly when n < minChunk, in which
+// case a single range covers everything). It never returns empty ranges.
+func Split(n, parts, minChunk int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxParts := n / minChunk; parts > maxParts {
+		parts = maxParts
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	out := make([]Range, 0, parts)
+	chunk := n / parts
+	rem := n % parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// For runs body(lo, hi) over a partition of [0, n) using up to MaxWorkers
+// goroutines. minChunk sets the smallest useful grain: if n/minChunk < 2
+// the body runs inline on the calling goroutine. The body must be safe to
+// invoke concurrently on disjoint ranges.
+func For(n, minChunk int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := MaxWorkers()
+	ranges := Split(n, w, minChunk)
+	if len(ranges) <= 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(ranges) - 1)
+	for _, r := range ranges[1:] {
+		go func(r Range) {
+			defer wg.Done()
+			body(r.Lo, r.Hi)
+		}(r)
+	}
+	body(ranges[0].Lo, ranges[0].Hi)
+	wg.Wait()
+}
+
+// Do runs each task concurrently and waits for all of them. Tasks beyond
+// MaxWorkers are still started (the scheduler multiplexes them); Do is for
+// small task counts such as one task per rank in the distributed substrate.
+func Do(tasks ...func()) {
+	if len(tasks) == 0 {
+		return
+	}
+	if len(tasks) == 1 {
+		tasks[0]()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tasks) - 1)
+	for _, t := range tasks[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(t)
+	}
+	tasks[0]()
+	wg.Wait()
+}

@@ -1,0 +1,250 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewDense(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || m.Stride != 4 || len(m.Data) != 12 {
+		t.Fatalf("unexpected shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("NewDense must zero storage")
+		}
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	mustPanic(t, func() { NewDense(-1, 2) })
+	mustPanic(t, func() { NewDenseData(2, 2, []float64{1, 2, 3}) })
+}
+
+func TestAtSet(t *testing.T) {
+	m := NewDense(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", m.At(1, 2))
+	}
+	if m.Data[1*3+2] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+	mustPanic(t, func() { m.At(2, 0) })
+	mustPanic(t, func() { m.Set(0, 3, 1) })
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("Identity(4)[%d][%d] = %v", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSliceAliases(t *testing.T) {
+	m := NewDense(4, 5)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	v := m.Slice(1, 3, 2, 5)
+	if v.Rows != 2 || v.Cols != 3 {
+		t.Fatalf("view shape %d×%d, want 2×3", v.Rows, v.Cols)
+	}
+	if v.At(0, 0) != 12 || v.At(1, 2) != 24 {
+		t.Fatalf("view content wrong: %v %v", v.At(0, 0), v.At(1, 2))
+	}
+	v.Set(0, 1, -1)
+	if m.At(1, 3) != -1 {
+		t.Fatal("view write must be visible in parent")
+	}
+	empty := m.Slice(2, 2, 0, 5)
+	if empty.Rows != 0 {
+		t.Fatal("empty slice should have 0 rows")
+	}
+	mustPanic(t, func() { m.Slice(0, 5, 0, 1) })
+}
+
+func TestSliceOfSlice(t *testing.T) {
+	m := NewDense(6, 6)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	v := m.Slice(1, 5, 1, 5)
+	w := v.Slice(1, 3, 2, 4)
+	if w.At(0, 0) != m.At(2, 3) {
+		t.Fatalf("nested slice: got %v want %v", w.At(0, 0), m.At(2, 3))
+	}
+}
+
+func TestCloneAndCopy(t *testing.T) {
+	m := NewDense(3, 3)
+	m.Set(0, 0, 1)
+	m.Set(2, 2, 9)
+	c := m.Clone()
+	c.Set(0, 0, 100)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+	// Copy through a strided view.
+	big := NewDense(5, 5)
+	v := big.Slice(1, 4, 1, 4)
+	v.Copy(m)
+	if big.At(3, 3) != 9 {
+		t.Fatalf("copy into view: got %v want 9", big.At(3, 3))
+	}
+	mustPanic(t, func() { v.Copy(NewDense(2, 2)) })
+}
+
+func TestColSetCol(t *testing.T) {
+	m := NewDense(3, 2)
+	m.SetCol(1, []float64{1, 2, 3})
+	got := m.Col(1, nil)
+	for i, want := range []float64{1, 2, 3} {
+		if got[i] != want {
+			t.Fatalf("Col(1)[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+	mustPanic(t, func() { m.SetCol(1, []float64{1}) })
+	mustPanic(t, func() { m.Col(5, nil) })
+}
+
+func TestSwapColsRows(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	m.SwapCols(0, 2)
+	want := []float64{3, 2, 1, 6, 5, 4}
+	for i, v := range m.Data {
+		if v != want[i] {
+			t.Fatalf("SwapCols: data[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	m.SwapRows(0, 1)
+	if m.At(0, 0) != 6 || m.At(1, 0) != 3 {
+		t.Fatal("SwapRows wrong")
+	}
+	m.SwapCols(1, 1) // no-op must not panic
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %d×%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	big := NewDense(4, 4)
+	for i := range big.Data {
+		big.Data[i] = 1
+	}
+	v := big.Slice(1, 3, 1, 3)
+	v.Zero()
+	if big.At(1, 1) != 0 || big.At(2, 2) != 0 {
+		t.Fatal("Zero did not clear view")
+	}
+	if big.At(0, 0) != 1 || big.At(3, 3) != 1 || big.At(1, 0) != 1 {
+		t.Fatal("Zero cleared outside the view")
+	}
+}
+
+func TestIsUpperTriangular(t *testing.T) {
+	r := NewDenseData(3, 3, []float64{1, 2, 3, 0, 4, 5, 0, 0, 6})
+	if !r.IsUpperTriangular(0) {
+		t.Fatal("expected upper triangular")
+	}
+	r.Set(2, 0, 1e-12)
+	if r.IsUpperTriangular(0) {
+		t.Fatal("exact check should fail")
+	}
+	if !r.IsUpperTriangular(1e-10) {
+		t.Fatal("tolerant check should pass")
+	}
+}
+
+func TestRowAliases(t *testing.T) {
+	m := NewDense(2, 2)
+	row := m.Row(1)
+	row[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Fatal("Row must alias storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	small := NewDense(2, 2)
+	if s := small.String(); len(s) == 0 {
+		t.Fatal("empty String for small matrix")
+	}
+	big := NewDense(20, 20)
+	if s := big.String(); len(s) == 0 {
+		t.Fatal("empty String for big matrix")
+	}
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 3, 4})
+	b := NewDenseData(2, 2, []float64{1, 2, 3, 4.00001})
+	if !EqualApprox(a, b, 1e-4) {
+		t.Fatal("should be approx equal at 1e-4")
+	}
+	if EqualApprox(a, b, 1e-6) {
+		t.Fatal("should differ at 1e-6")
+	}
+	if EqualApprox(a, NewDense(2, 3), 1) {
+		t.Fatal("shape mismatch must be unequal")
+	}
+	b.Set(0, 0, math.NaN())
+	if EqualApprox(a, b, 1e10) {
+		t.Fatal("NaN must compare unequal")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestEmptyViewOperations(t *testing.T) {
+	m := NewDense(5, 5)
+	empty := m.Slice(0, 5, 2, 2) // 5×0 view
+	if empty.Rows != 5 || empty.Cols != 0 {
+		t.Fatalf("empty view shape %d×%d", empty.Rows, empty.Cols)
+	}
+	// None of these may panic on a zero-column view.
+	empty.Zero()
+	empty.Copy(NewDense(5, 0))
+	clone := empty.Clone()
+	if clone.Rows != 5 || clone.Cols != 0 {
+		t.Fatal("clone of empty view wrong shape")
+	}
+	if empty.FrobeniusNorm() != 0 || empty.MaxAbs() != 0 {
+		t.Fatal("empty norms must be 0")
+	}
+	tr := empty.T()
+	if tr.Rows != 0 || tr.Cols != 5 {
+		t.Fatal("transpose of empty view wrong shape")
+	}
+}

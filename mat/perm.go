@@ -1,0 +1,125 @@
+package mat
+
+import "fmt"
+
+// Perm represents an n×n column permutation matrix P by its column map:
+// P has a 1 in row p[j], column j, so (A·P)(:, j) = A(:, p[j]).
+//
+// Equivalently, p[j] answers "which original column of A lands in position
+// j of A·P". This is the convention LAPACK's JPVT array uses (0-based).
+type Perm []int
+
+// IdentityPerm returns the identity permutation of length n.
+func IdentityPerm(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// IsValid reports whether p is a bijection on {0, …, len(p)-1}.
+func (p Perm) IsValid() bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// Swap exchanges the images of positions i and j, i.e. p := p · P_(i,j).
+func (p Perm) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+
+// Compose returns the permutation of P·Q where q is applied after p:
+// (P·Q)(:, j) = P(:, q[j]) = column p[q[j]] of the identity.
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("mat: Compose length mismatch %d vs %d", len(p), len(q)))
+	}
+	out := make(Perm, len(p))
+	for j, v := range q {
+		out[j] = p[v]
+	}
+	return out
+}
+
+// Inverse returns the permutation of Pᵀ (= P⁻¹).
+func (p Perm) Inverse() Perm {
+	out := make(Perm, len(p))
+	for j, v := range p {
+		out[v] = j
+	}
+	return out
+}
+
+// Matrix materializes p as a dense permutation matrix.
+func (p Perm) Matrix() *Dense {
+	n := len(p)
+	m := NewDense(n, n)
+	for j, v := range p {
+		m.Data[v*m.Stride+j] = 1
+	}
+	return m
+}
+
+// Clone returns a copy of p.
+func (p Perm) Clone() Perm {
+	out := make(Perm, len(p))
+	copy(out, p)
+	return out
+}
+
+// PermuteCols overwrites dst with A·P, i.e. dst(:, j) = A(:, p[j]).
+// dst must have A's dimensions and must not alias A.
+func PermuteCols(dst, a *Dense, p Perm) {
+	if dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic(fmt.Sprintf("mat: PermuteCols %d×%d into %d×%d", a.Rows, a.Cols, dst.Rows, dst.Cols))
+	}
+	if len(p) != a.Cols {
+		panic(fmt.Sprintf("mat: PermuteCols perm length %d != cols %d", len(p), a.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		src := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		row := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		for j, v := range p {
+			row[j] = src[v]
+		}
+	}
+}
+
+// PermuteColsInPlace rearranges the columns of A in place so that
+// afterwards A_new(:, j) = A_old(:, p[j]). It runs in O(rows·cols) time and
+// O(cols) extra space by following permutation cycles.
+func PermuteColsInPlace(a *Dense, p Perm) {
+	if len(p) != a.Cols {
+		panic(fmt.Sprintf("mat: PermuteColsInPlace perm length %d != cols %d", len(p), a.Cols))
+	}
+	done := make([]bool, len(p))
+	tmp := make([]float64, a.Rows)
+	for start := range p {
+		if done[start] || p[start] == start {
+			done[start] = true
+			continue
+		}
+		// Cycle: position start receives column p[start], which receives
+		// p[p[start]], … Save the column evicted from start, then pull
+		// columns along the cycle.
+		a.Col(start, tmp)
+		j := start
+		for {
+			next := p[j]
+			done[j] = true
+			if next == start {
+				a.SetCol(j, tmp)
+				break
+			}
+			for i := 0; i < a.Rows; i++ {
+				a.Data[i*a.Stride+j] = a.Data[i*a.Stride+next]
+			}
+			j = next
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package mat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randPerm(rng *rand.Rand, n int) Perm {
+	p := IdentityPerm(n)
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestIdentityPerm(t *testing.T) {
+	p := IdentityPerm(5)
+	if !p.IsValid() {
+		t.Fatal("identity perm invalid")
+	}
+	for i, v := range p {
+		if v != i {
+			t.Fatalf("p[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	if (Perm{0, 0, 1}).IsValid() {
+		t.Fatal("duplicate should be invalid")
+	}
+	if (Perm{0, 3, 1}).IsValid() {
+		t.Fatal("out of range should be invalid")
+	}
+	if !(Perm{2, 0, 1}).IsValid() {
+		t.Fatal("valid perm rejected")
+	}
+}
+
+func TestComposeMatchesMatrixProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		p, q := randPerm(rng, n), randPerm(rng, n)
+		pq := p.Compose(q)
+		if !pq.IsValid() {
+			t.Fatal("composition invalid")
+		}
+		// Check P·Q as matrices.
+		pm, qm := p.Matrix(), q.Matrix()
+		prod := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += pm.At(i, k) * qm.At(k, j)
+				}
+				prod.Set(i, j, s)
+			}
+		}
+		if !EqualApprox(prod, pq.Matrix(), 0) {
+			t.Fatalf("Compose != matrix product for p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		p := randPerm(rng, n)
+		inv := p.Inverse()
+		id := p.Compose(inv)
+		for i, v := range id {
+			if v != i {
+				t.Fatalf("p∘p⁻¹ not identity: %v", id)
+			}
+		}
+	}
+}
+
+func TestPermuteCols(t *testing.T) {
+	a := NewDenseData(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	p := Perm{2, 0, 1}
+	dst := NewDense(2, 3)
+	PermuteCols(dst, a, p)
+	want := []float64{3, 1, 2, 6, 4, 5}
+	for i, v := range dst.Data {
+		if v != want[i] {
+			t.Fatalf("PermuteCols data[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	mustPanic(t, func() { PermuteCols(NewDense(2, 2), a, p) })
+	mustPanic(t, func() { PermuteCols(dst, a, Perm{0, 1}) })
+}
+
+func TestPermuteColsInPlaceMatchesOutOfPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		m := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(9)
+		a := NewDense(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		p := randPerm(rng, n)
+		want := NewDense(m, n)
+		PermuteCols(want, a, p)
+		got := a.Clone()
+		PermuteColsInPlace(got, p)
+		if !EqualApprox(got, want, 0) {
+			t.Fatalf("in-place != out-of-place for p=%v", p)
+		}
+	}
+}
+
+func TestPermMatrixOrthogonal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		p := randPerm(rng, n)
+		pm := p.Matrix()
+		// PᵀP should be the identity.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += pm.At(k, i) * pm.At(k, j)
+				}
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if s != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPermuteColsAgainstMatrixProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, n := 4, 5
+	a := NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	p := randPerm(rng, n)
+	pm := p.Matrix()
+	want := NewDense(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += a.At(i, k) * pm.At(k, j)
+			}
+			want.Set(i, j, s)
+		}
+	}
+	got := NewDense(m, n)
+	PermuteCols(got, a, p)
+	if !EqualApprox(got, want, 1e-15) {
+		t.Fatal("PermuteCols disagrees with dense A·P")
+	}
+}

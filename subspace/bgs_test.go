@@ -1,0 +1,197 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/blas"
+	"repro/mat"
+	"repro/metrics"
+	"repro/testmat"
+)
+
+func TestBasisBuilderOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	n := 200
+	bb := NewBasisBuilder(n, 4)
+	total := 0
+	for blockIdx := 0; blockIdx < 5; blockIdx++ {
+		x := mat.NewDense(n, 6)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64()
+		}
+		added, err := bb.Append(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != 6 {
+			t.Fatalf("block %d: added %d of 6 independent columns", blockIdx, added)
+		}
+		total += added
+		if e := metrics.Orthogonality(bb.Basis()); e > 1e-13 {
+			t.Fatalf("block %d: basis orthogonality %g", blockIdx, e)
+		}
+	}
+	if bb.Len() != total || total != 30 {
+		t.Fatalf("Len = %d, want 30", bb.Len())
+	}
+}
+
+func TestBasisBuilderDropsDependentColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	n := 150
+	bb := NewBasisBuilder(n, 8)
+	first := testmat.RandomOrtho(rng, n, 5)
+	if added, _ := bb.Append(first); added != 5 {
+		t.Fatalf("first block added %d", added)
+	}
+	// Second block: 2 fresh directions + 3 copies of basis vectors.
+	x := mat.NewDense(n, 5)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, rng.NormFloat64())
+		x.Set(i, 1, rng.NormFloat64())
+		x.Set(i, 2, first.At(i, 0))
+		x.Set(i, 3, first.At(i, 1)+first.At(i, 2))
+		x.Set(i, 4, 2*first.At(i, 4))
+	}
+	added, err := bb.Append(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 2 {
+		t.Fatalf("added %d, want 2 (3 columns were dependent)", added)
+	}
+	if e := metrics.Orthogonality(bb.Basis()); e > 1e-12 {
+		t.Fatalf("basis degraded: %g", e)
+	}
+}
+
+func TestBasisBuilderFullyDependentBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	n := 100
+	bb := NewBasisBuilder(n, 4)
+	q := testmat.RandomOrtho(rng, n, 4)
+	bb.Append(q) //nolint:errcheck
+	// A block entirely inside the span: nothing must be added.
+	coef := mat.NewDense(4, 3)
+	for i := range coef.Data {
+		coef.Data[i] = rng.NormFloat64()
+	}
+	dep := mat.NewDense(n, 3)
+	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q, coef, 0, dep)
+	added, err := bb.Append(dep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 {
+		t.Fatalf("added %d columns from a dependent block", added)
+	}
+	if bb.Len() != 4 {
+		t.Fatalf("basis size %d, want 4", bb.Len())
+	}
+}
+
+func TestBasisBuilderKrylovBlocks(t *testing.T) {
+	// Build a block Krylov basis K = [X, AX, A²X, …] for a graph
+	// Laplacian; the builder must stay orthonormal while the powers
+	// become increasingly aligned.
+	n := 300
+	a := PathLaplacian(n)
+	rng := rand.New(rand.NewSource(304))
+	bb := NewBasisBuilder(n, 8)
+	x := mat.NewDense(n, 3)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for step := 0; step < 10; step++ {
+		if _, err := bb.Append(x); err != nil {
+			t.Fatal(err)
+		}
+		y := mat.NewDense(n, 3)
+		a.Apply(y, x)
+		x = y
+		if e := metrics.Orthogonality(bb.Basis()); e > 1e-12 {
+			t.Fatalf("step %d: orthogonality %g", step, e)
+		}
+	}
+	if bb.Len() < 25 {
+		t.Fatalf("Krylov basis only reached %d vectors", bb.Len())
+	}
+}
+
+func TestBasisBuilderPanicsAndGrowth(t *testing.T) {
+	bb := NewBasisBuilder(10, 0) // capacity clamps to ≥ 1
+	x := mat.NewDense(10, 12)    // forces growth beyond initial capacity
+	rng := rand.New(rand.NewSource(305))
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	if n, _ := bb.Append(x); n != 10 {
+		// 12 columns in R^10: at most 10 independent.
+		t.Fatalf("added %d, want 10", n)
+	}
+	if added, _ := bb.Append(mat.NewDense(10, 0)); added != 0 {
+		t.Fatal("empty block must add nothing")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	bb.Append(mat.NewDense(5, 2)) //nolint:errcheck
+}
+
+func TestCSR(t *testing.T) {
+	// 2×2 with a duplicate entry summed.
+	c := NewCSR(2, []Triplet{{0, 0, 1}, {0, 1, 2}, {0, 1, 3}, {1, 0, 4}})
+	if c.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3 (duplicates summed)", c.NNZ())
+	}
+	dst := make([]float64, 2)
+	c.MatVec(dst, []float64{1, 1})
+	if dst[0] != 6 || dst[1] != 4 {
+		t.Fatalf("MatVec = %v", dst)
+	}
+	// Block Apply agrees with per-column MatVec.
+	x := mat.NewDenseData(2, 2, []float64{1, 0, 1, 1})
+	out := mat.NewDense(2, 2)
+	c.Apply(out, x)
+	if out.At(0, 0) != 6 || out.At(0, 1) != 5 || out.At(1, 0) != 4 {
+		t.Fatalf("Apply = %v", out.Data)
+	}
+	mustPanicS(t, func() { NewCSR(2, []Triplet{{2, 0, 1}}) })
+	mustPanicS(t, func() { c.MatVec(make([]float64, 1), make([]float64, 2)) })
+	mustPanicS(t, func() { c.Apply(mat.NewDense(3, 1), mat.NewDense(2, 1)) })
+}
+
+func TestPathLaplacianSpectrum(t *testing.T) {
+	// Known eigenvalues: 2−2cos(kπ/n), largest ≈ 4 for large n. The top
+	// of the Laplacian spectrum is tightly clustered, so plain subspace
+	// iteration converges slowly — the tolerance here checks integration
+	// (CSR operator + eigensolver), not asymptotic convergence.
+	n := 200
+	lap := PathLaplacian(n)
+	rng := rand.New(rand.NewSource(306))
+	vals, vecs, err := SymEigs(lap, 2, &EigOptions{Iterations: 400, Oversample: 12, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 2 - 2*math.Cos(math.Pi*float64(n-1)/float64(n))
+	if math.Abs(vals[0]-want0) > 1e-3 {
+		t.Fatalf("λ_max = %v, want ≈ %v", vals[0], want0)
+	}
+	if e := metrics.Orthogonality(vecs); e > 1e-12 {
+		t.Fatalf("eigenvectors degraded: %g", e)
+	}
+}
+
+func mustPanicS(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,273 @@
+package tsqrcp
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// DefaultPivotTol is the recommended P-Chol-CP tolerance ε ≈ 10⁻⁵
+// (paper §III-D2).
+const DefaultPivotTol = core.DefaultPivotTol
+
+// ErrBreakdown is returned when a Cholesky factorization inside an
+// unpivoted Cholesky-QR algorithm loses positive definiteness
+// (κ₂(A) ≳ 10⁸ for plain CholeskyQR/CholeskyQR2). Use ShiftedCholeskyQR3
+// or QRCP instead.
+var ErrBreakdown = core.ErrBreakdown
+
+// ErrStall is returned by QRCP when the input has exactly (not just
+// numerically) dependent columns, e.g. a zero column.
+var ErrStall = core.ErrStall
+
+// Options control the pivoted factorizations.
+type Options struct {
+	// PivotTol is the P-Chol-CP tolerance ε. Zero value selects
+	// DefaultPivotTol. (To experiment with the paper's unstable "ε = 0"
+	// variant, call the internal tracing API via the bench package.)
+	PivotTol float64
+	// Workers bounds the number of OS threads the dense kernels may use;
+	// 0 means all available cores. The bound is process-global for the
+	// duration of the call, so concurrent factorizations with *different*
+	// non-zero Workers values interfere; concurrent calls with Workers=0
+	// are safe.
+	Workers int
+}
+
+func (o *Options) tol() float64 {
+	if o == nil || o.PivotTol == 0 {
+		return DefaultPivotTol
+	}
+	return o.PivotTol
+}
+
+// withWorkers runs f under the requested parallel width.
+func withWorkers(o *Options, f func()) {
+	if o == nil || o.Workers == 0 {
+		f()
+		return
+	}
+	prev := parallel.SetMaxWorkers(o.Workers)
+	defer parallel.SetMaxWorkers(prev)
+	f()
+}
+
+// Factorization is a QR factorization with column pivoting,
+//
+//	A·P = Q·R,
+//
+// with Q m×n orthonormal, R n×n upper triangular with non-increasing
+// |R(j,j)|, and P the permutation that makes the factorization
+// rank-revealing.
+type Factorization struct {
+	// Q has orthonormal columns.
+	Q *mat.Dense
+	// R is upper triangular.
+	R *mat.Dense
+	// Perm maps position j to the original column index:
+	// (A·P)(:, j) = A(:, Perm[j]).
+	Perm mat.Perm
+	// Iterations is the number of pivoting iterations Ite-CholQR-CP used
+	// (0 for the Householder baseline).
+	Iterations int
+}
+
+// Rank estimates the numerical rank from the diagonal of R: the number of
+// leading diagonals with |R(j,j)| > tol·|R(0,0)|. With tol ≤ 0 a default
+// of n·u is used.
+func (f *Factorization) Rank(tol float64) int {
+	n := f.R.Rows
+	if n == 0 {
+		return 0
+	}
+	lead := math.Abs(f.R.At(0, 0))
+	if lead == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = float64(n) * 2.220446049250313e-16
+	}
+	k := 0
+	for j := 0; j < n; j++ {
+		if math.Abs(f.R.At(j, j)) > tol*lead {
+			k = j + 1
+		} else {
+			break
+		}
+	}
+	return k
+}
+
+// QRCP computes the QR factorization with column pivoting of a tall-skinny
+// matrix (m ≥ n) using the paper's Ite-CholQR-CP algorithm. The input is
+// not modified. Accuracy matches Householder QRCP (including the pivot
+// sequence) for condition numbers up to ~10¹⁶.
+func QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
+	var res *core.CPResult
+	var err error
+	withWorkers(opts, func() {
+		res, err = core.IteCholQRCP(a, opts.tol())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm, Iterations: res.Iterations}, nil
+}
+
+// HouseholderQRCP computes the same factorization with the conventional
+// blocked Householder algorithm (LAPACK DGEQP3 + DORGQR structure) — the
+// baseline Ite-CholQR-CP is measured against. Always numerically safe,
+// but roughly half its flops are Level-2 and it does not scale on
+// distributed systems.
+func HouseholderQRCP(a *mat.Dense, opts *Options) *Factorization {
+	var res *core.CPResult
+	withWorkers(opts, func() {
+		res = core.HQRCP(a)
+	})
+	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm}
+}
+
+// TruncatedFactorization is a rank-k pivoted factorization A·P ≈ Q·R with
+// Q m×k and R k×n; the approximation error is ≈ σ_(k+1)(A).
+type TruncatedFactorization struct {
+	Q    *mat.Dense
+	R    *mat.Dense
+	Perm mat.Perm
+	// Rank is the number of columns actually factored: the requested k,
+	// or less when the matrix's numerical rank is smaller.
+	Rank       int
+	Iterations int
+}
+
+// QRCPTruncated computes a rank-k truncated pivoted QR factorization —
+// a low-rank approximation — stopping the Ite-CholQR-CP iteration as soon
+// as k trustworthy pivots are fixed. This avoids orthogonalizing the
+// trailing columns entirely, the structural advantage over "QR first,
+// then pivot R" approaches that the paper points out in §V.
+func QRCPTruncated(a *mat.Dense, k int, opts *Options) (*TruncatedFactorization, error) {
+	var res *core.PartialResult
+	var err error
+	withWorkers(opts, func() {
+		res, err = core.IteCholQRCPPartial(a, opts.tol(), k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TruncatedFactorization{Q: res.Q, R: res.R, Perm: res.Perm,
+		Rank: res.Rank, Iterations: res.Iterations}, nil
+}
+
+// Reconstruct returns Q·R·Pᵀ ≈ A, the rank-Rank approximation of the
+// original matrix in its original column order.
+func (tf *TruncatedFactorization) Reconstruct() *mat.Dense {
+	m, n := tf.Q.Rows, tf.R.Cols
+	qr := mat.NewDense(m, n)
+	mulInto(qr, tf.Q, tf.R)
+	out := mat.NewDense(m, n)
+	mat.PermuteCols(out, qr, tf.Perm.Inverse())
+	return out
+}
+
+// QR is an unpivoted thin QR factorization A = Q·R.
+type QR struct {
+	Q *mat.Dense
+	R *mat.Dense
+}
+
+// CholeskyQR computes the thin QR factorization by a single Cholesky pass
+// (Algorithm 2). Fastest, but Q loses orthogonality like u·κ₂(A)² and the
+// algorithm fails for κ₂(A) ≳ 10⁸.
+func CholeskyQR(a *mat.Dense) (*QR, error) {
+	qr, err := core.CholQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return &QR{Q: qr.Q, R: qr.R}, nil
+}
+
+// CholeskyQR2 computes the thin QR factorization with one
+// reorthogonalization pass; Householder-level accuracy for κ₂(A) ≲ 10⁸.
+func CholeskyQR2(a *mat.Dense) (*QR, error) {
+	qr, err := core.CholQR2(a)
+	if err != nil {
+		return nil, err
+	}
+	return &QR{Q: qr.Q, R: qr.R}, nil
+}
+
+// ShiftedCholeskyQR3 computes the thin QR factorization of arbitrarily
+// ill-conditioned matrices (κ₂(A) up to ~10¹⁶) via a shifted
+// preconditioning pass followed by CholeskyQR2.
+func ShiftedCholeskyQR3(a *mat.Dense) (*QR, error) {
+	qr, err := core.ShiftedCholQR3(a)
+	if err != nil {
+		return nil, err
+	}
+	return &QR{Q: qr.Q, R: qr.R}, nil
+}
+
+// HouseholderQR computes the thin QR factorization by blocked Householder
+// reflections — the unconditionally stable reference.
+func HouseholderQR(a *mat.Dense) *QR {
+	qr := core.HouseholderQR(a)
+	return &QR{Q: qr.Q, R: qr.R}
+}
+
+// TSQR computes the thin QR factorization by the communication-avoiding
+// Householder reduction tree (Demmel et al.) — unconditionally stable
+// like HouseholderQR, with CholeskyQR-like O(1) collective structure.
+func TSQR(a *mat.Dense) *QR {
+	qr := core.TSQR(a)
+	return &QR{Q: qr.Q, R: qr.R}
+}
+
+// LUCholeskyQR2 computes the thin QR factorization by LU-Cholesky QR
+// (Terao–Ozaki–Ogita): an LU factorization with partial pivoting
+// preconditions the matrix so Cholesky QR succeeds for any κ₂(A).
+func LUCholeskyQR2(a *mat.Dense) (*QR, error) {
+	qr, err := core.LUCholQR2(a)
+	if err != nil {
+		return nil, err
+	}
+	return &QR{Q: qr.Q, R: qr.R}, nil
+}
+
+// StrongRRQR computes a strong rank-revealing QR factorization at rank k
+// in the Gu–Eisenstat sense: after the greedy pivoting, column
+// interchanges continue until σ_min(R₁₁) ≥ σ_k/√(1+f²k(n−k)) and
+// ‖R₂₂‖₂ ≤ σ_(k+1)·√(1+f²k(n−k)) are certified. Pass f ≤ 0 for the
+// conventional f = 2. Use this when greedy pivoting's worst cases
+// (Kahan-type matrices) must be excluded by construction.
+func StrongRRQR(a *mat.Dense, k int, f float64) (*Factorization, error) {
+	if f <= 0 {
+		f = core.DefaultStrongRRQRF
+	}
+	res, err := core.StrongRRQR(a, k, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm}, nil
+}
+
+// mulInto computes dst = a·b with dst pre-shaped (helper that avoids
+// exporting the internal blas package).
+func mulInto(dst, a, b *mat.Dense) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for l, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*b.Stride : l*b.Stride+b.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
