@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover repro repro-paper examples clean
+.PHONY: all build vet test race bench bench-json cover repro repro-paper examples clean
 
 all: build vet test
 
@@ -21,6 +21,12 @@ race:
 # One benchmark per paper figure/table plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Kernel regression numbers (Gram/TRSM/GEMM + end-to-end IteCholQRCP) as
+# JSON, for diffing against the committed BENCH_kernels.json.
+bench-json:
+	$(GO) run ./cmd/bench-kernels -o BENCH_kernels.json
+	@echo "wrote BENCH_kernels.json"
 
 cover:
 	$(GO) test -cover ./...

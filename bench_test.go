@@ -108,6 +108,26 @@ func BenchmarkFig4SingleNode(b *testing.B) {
 	}
 }
 
+// BenchmarkIteCholQRCP — the end-to-end factorization at the paper's
+// tall-skinny shapes, with allocation counts: after the first warm-up run
+// the pooled workspaces make the iteration loop allocation-light, so
+// allocs/op here guards the perf work in internal/parallel and mat.
+func BenchmarkIteCholQRCP(b *testing.B) {
+	shapes := []struct{ m, n int }{{10000, 64}, {10000, 128}, {10000, 256}}
+	for _, sh := range shapes {
+		a := benchMatrix(sh.m, sh.n, (sh.n*4)/5, 1e-12)
+		b.Run(fmt.Sprintf("m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(bench.Flops(sh.m, sh.n, b.Elapsed()/time.Duration(safeN(b.N)))/1e9, "effGFLOPS")
+		})
+	}
+}
+
 func safeN(n int) int64 {
 	if n < 1 {
 		return 1

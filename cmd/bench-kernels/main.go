@@ -1,0 +1,185 @@
+// Command bench-kernels measures the Level-3 kernels on the Ite-CholQR-CP
+// hot path (Gram, TRSM, GEMM) plus the end-to-end factorization, and writes
+// the results as JSON for regression tracking (`make bench-json`).
+//
+// Each entry records ns/op, B/op, allocs/op and GFLOP/s so both throughput
+// regressions and allocation regressions in the iteration loop are visible
+// in a single diff of BENCH_kernels.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/mat"
+	"repro/testmat"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFLOPS      float64 `json:"gflops"`
+}
+
+type report struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	MaxWorkers int      `json:"max_workers"`
+	Records    []record `json:"records"`
+}
+
+func run(name string, m, n int, flops float64, bench func(b *testing.B)) record {
+	res := testing.Benchmark(bench)
+	ns := float64(res.NsPerOp())
+	gflops := 0.0
+	if ns > 0 && flops > 0 {
+		gflops = flops / ns // flop/ns == GFLOP/s
+	}
+	r := record{
+		Name:        name,
+		M:           m,
+		N:           n,
+		Iters:       res.N,
+		NsPerOp:     ns,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		GFLOPS:      gflops,
+	}
+	fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %12.0f ns/op %6d allocs/op %8.2f GFLOP/s\n",
+		name, m, n, ns, r.AllocsPerOp, gflops)
+	return r
+}
+
+func randDense(rng *rand.Rand, m, n int) *mat.Dense {
+	a := mat.NewDense(m, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	return a
+}
+
+func upperTriangular(rng *rand.Rand, n int) *mat.Dense {
+	r := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, 1+rng.Float64())
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, rng.NormFloat64()/float64(n))
+		}
+	}
+	return r
+}
+
+func main() {
+	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
+	quick := flag.Bool("quick", false, "skip the m=1e5 shapes (fast smoke run)")
+	e2eM := flag.Int("e2e-m", 10000, "row count for the end-to-end IteCholQRCP entries")
+	flag.Parse()
+
+	ms := []int{10000, 100000}
+	if *quick {
+		ms = []int{10000}
+	}
+	ns := []int{64, 128, 256}
+	if *e2eM < ns[len(ns)-1] {
+		fmt.Fprintf(os.Stderr, "bench-kernels: -e2e-m must be at least %d (tall-skinny: m ≥ n), got %d\n", ns[len(ns)-1], *e2eM)
+		os.Exit(2)
+	}
+	// Fail on an unwritable output path now, not after minutes of benchmarks.
+	if f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-kernels:", err)
+		os.Exit(2)
+	} else {
+		f.Close()
+	}
+
+	rep := report{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		MaxWorkers: parallel.MaxWorkers(),
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	for _, m := range ms {
+		for _, n := range ns {
+			a := randDense(rng, m, n)
+			w := mat.NewDense(n, n)
+			rep.Records = append(rep.Records, run(
+				"Gram", m, n, 2*float64(m)*float64(n)*float64(n),
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						blas.Gram(w, a)
+					}
+				}))
+
+			r := upperTriangular(rng, n)
+			work := mat.NewDense(m, n)
+			rep.Records = append(rep.Records, run(
+				"TrsmRight", m, n, float64(m)*float64(n)*float64(n),
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						work.Copy(a)
+						b.StartTimer()
+						blas.TrsmRightUpperNoTrans(work, r)
+					}
+				}))
+
+			bb := randDense(rng, n, n)
+			c := mat.NewDense(m, n)
+			rep.Records = append(rep.Records, run(
+				"GemmNN", m, n, 2*float64(m)*float64(n)*float64(n),
+				func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						blas.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
+					}
+				}))
+		}
+	}
+
+	for _, n := range ns {
+		m := *e2eM
+		a := testmat.Generate(rng, m, n, (n*4)/5, 1e-12)
+		rep.Records = append(rep.Records, run(
+			"IteCholQRCP", m, n, 0,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+						fmt.Fprintln(os.Stderr, "IteCholQRCP:", err)
+						os.Exit(1)
+					}
+				}
+			}))
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

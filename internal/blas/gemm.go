@@ -1,17 +1,23 @@
 package blas
 
 import (
-	"sync"
-
 	"repro/internal/parallel"
 	"repro/mat"
 )
 
 const (
 	// kBlock is the tile width along the summation dimension; one tile of
-	// B rows (kBlock × n doubles) should stay resident in L2 while a row
-	// panel of C is updated.
+	// B rows (kBlock × nBlock doubles) should stay resident in L2 while a
+	// row panel of C is updated.
 	kBlock = 256
+	// nBlock is the tile width along the output columns. For n ≤ nBlock
+	// the whole C row fits the cache and gemmNN tiles in k only; wider
+	// products switch to the packed path that tiles in both j and k.
+	nBlock = 256
+	// ttIBlock is the output-row tile of the packed Aᵀ kernel in gemmTT:
+	// one packed tile (ttIBlock × kBlock doubles) stays cache resident
+	// while all rows of B stream against it.
+	ttIBlock = 48
 	// gemmParallelFlops is the minimum multiply-add count before Gemm
 	// fans out across cores.
 	gemmParallelFlops = 1 << 16
@@ -60,44 +66,105 @@ func scaleMatrix(beta float64, c *mat.Dense) {
 	}
 }
 
-// gemmNN: C += alpha·A·B. Parallel over row panels of C; within a panel,
-// the summation dimension is tiled so the active B tile stays in cache,
-// and processed four at a time so each load/store of the C row amortizes
-// four multiply-adds (register blocking).
+// gemmNN: C += alpha·A·B. Parallel over row panels of C. For n ≤ nBlock
+// the summation dimension alone is tiled (the C row stays in L1) and four
+// B rows are consumed per pass so each load/store of the C row amortizes
+// four multiply-adds. Wider products tile in both j and k: each worker
+// packs the active B tile into a contiguous pooled buffer so the inner
+// kernel streams it independent of B's stride, and only an nBlock-wide
+// segment of the C row is live per tile.
 func gemmNN(alpha float64, a, b, c *mat.Dense) {
 	m, n, k := c.Rows, c.Cols, a.Cols
-	body := func(lo, hi int) {
+	if mulFlops(2, m, n, k) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+		gemmNNRange(alpha, a, b, c, 0, m)
+		return
+	}
+	minChunk := gemmParallelFlops / (mulFlops(2, n, k) + 1)
+	parallel.For(m, minChunk+1, func(lo, hi int) {
+		gemmNNRange(alpha, a, b, c, lo, hi)
+	})
+}
+
+// gemmNNRange updates rows [lo, hi) of C += alpha·A·B, choosing between
+// the narrow-n k-tiled kernel and the packed j×k-tiled kernel.
+func gemmNNRange(alpha float64, a, b, c *mat.Dense, lo, hi int) {
+	if c.Cols <= nBlock {
+		gemmNNNarrow(alpha, a, b, c, lo, hi)
+		return
+	}
+	gemmNNPacked(alpha, a, b, c, lo, hi)
+}
+
+func gemmNNNarrow(alpha float64, a, b, c *mat.Dense, lo, hi int) {
+	n, k := c.Cols, a.Cols
+	for l0 := 0; l0 < k; l0 += kBlock {
+		l1 := min(l0+kBlock, k)
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+			l := l0
+			for ; l+4 <= l1; l += 4 {
+				a0 := alpha * arow[l]
+				a1 := alpha * arow[l+1]
+				a2 := alpha * arow[l+2]
+				a3 := alpha * arow[l+3]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				b0 := b.Data[l*b.Stride : l*b.Stride+n]
+				b1 := b.Data[(l+1)*b.Stride : (l+1)*b.Stride+n]
+				b2 := b.Data[(l+2)*b.Stride : (l+2)*b.Stride+n]
+				b3 := b.Data[(l+3)*b.Stride : (l+3)*b.Stride+n]
+				for j := range crow {
+					crow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+				}
+			}
+			for ; l < l1; l++ {
+				av := alpha * arow[l]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[l*b.Stride : l*b.Stride+n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+func gemmNNPacked(alpha float64, a, b, c *mat.Dense, lo, hi int) {
+	n, k := c.Cols, a.Cols
+	packed := mat.GetFloats(kBlock*nBlock, false)
+	defer mat.PutFloats(packed)
+	for j0 := 0; j0 < n; j0 += nBlock {
+		jb := min(nBlock, n-j0)
 		for l0 := 0; l0 < k; l0 += kBlock {
-			l1 := l0 + kBlock
-			if l1 > k {
-				l1 = k
+			lb := min(kBlock, k-l0)
+			for l := 0; l < lb; l++ {
+				src := b.Data[(l0+l)*b.Stride+j0 : (l0+l)*b.Stride+j0+jb]
+				copy(packed[l*jb:l*jb+jb], src)
 			}
 			for i := lo; i < hi; i++ {
-				arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
-				crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
-				l := l0
-				for ; l+4 <= l1; l += 4 {
+				arow := a.Data[i*a.Stride+l0 : i*a.Stride+l0+lb]
+				crow := c.Data[i*c.Stride+j0 : i*c.Stride+j0+jb]
+				l := 0
+				for ; l+4 <= lb; l += 4 {
 					a0 := alpha * arow[l]
 					a1 := alpha * arow[l+1]
 					a2 := alpha * arow[l+2]
 					a3 := alpha * arow[l+3]
-					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
-						continue
-					}
-					b0 := b.Data[l*b.Stride : l*b.Stride+n]
-					b1 := b.Data[(l+1)*b.Stride : (l+1)*b.Stride+n]
-					b2 := b.Data[(l+2)*b.Stride : (l+2)*b.Stride+n]
-					b3 := b.Data[(l+3)*b.Stride : (l+3)*b.Stride+n]
+					b0 := packed[l*jb : l*jb+jb]
+					b1 := packed[(l+1)*jb : (l+1)*jb+jb]
+					b2 := packed[(l+2)*jb : (l+2)*jb+jb]
+					b3 := packed[(l+3)*jb : (l+3)*jb+jb]
 					for j := range crow {
 						crow[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
 					}
 				}
-				for ; l < l1; l++ {
+				for ; l < lb; l++ {
 					av := alpha * arow[l]
-					if av == 0 {
-						continue
-					}
-					brow := b.Data[l*b.Stride : l*b.Stride+n]
+					brow := packed[l*jb : l*jb+jb]
 					for j, bv := range brow {
 						crow[j] += av * bv
 					}
@@ -105,93 +172,90 @@ func gemmNN(alpha float64, a, b, c *mat.Dense) {
 			}
 		}
 	}
-	if 2*m*n*k < gemmParallelFlops {
-		body(0, m)
-		return
-	}
-	minChunk := gemmParallelFlops / (2*n*k + 1)
-	parallel.For(m, minChunk+1, body)
 }
 
 // gemmTN: C += alpha·Aᵀ·B, the Gram-type product that dominates Cholesky QR.
 // The summation runs over the (long) row dimension of A and B, so the
-// parallel scheme splits rows across workers, each accumulating into a
-// private m×n buffer, followed by a sequential reduction. For the
-// tall-skinny shapes in this library the buffer is a small n×n block.
+// parallel scheme splits rows across pool workers, each accumulating into
+// a pooled private m×n buffer, followed by a sequential reduction. For the
+// tall-skinny shapes in this library the buffer is a small n×n block, and
+// pooling makes the steady-state iteration loop allocation-free.
 func gemmTN(alpha float64, a, b, c *mat.Dense) {
 	m, n := c.Rows, c.Cols // m = a.Cols
 	k := a.Rows
-	// Four summation rows are consumed together: each C-row update then
-	// amortizes its load/store over four multiply-adds.
-	seq := func(lo, hi int, dst *mat.Dense) {
-		l := lo
-		for ; l+4 <= hi; l += 4 {
-			a0 := a.Data[l*a.Stride : l*a.Stride+a.Cols]
-			a1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+a.Cols]
-			a2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+a.Cols]
-			a3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+a.Cols]
-			b0 := b.Data[l*b.Stride : l*b.Stride+n]
-			b1 := b.Data[(l+1)*b.Stride : (l+1)*b.Stride+n]
-			b2 := b.Data[(l+2)*b.Stride : (l+2)*b.Stride+n]
-			b3 := b.Data[(l+3)*b.Stride : (l+3)*b.Stride+n]
-			for i := 0; i < m; i++ {
-				v0 := alpha * a0[i]
-				v1 := alpha * a1[i]
-				v2 := alpha * a2[i]
-				v3 := alpha * a3[i]
-				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
-					continue
-				}
-				drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
-				for j := range drow {
-					drow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
-				}
-			}
-		}
-		for ; l < hi; l++ {
-			arow := a.Data[l*a.Stride : l*a.Stride+a.Cols]
-			brow := b.Data[l*b.Stride : l*b.Stride+n]
-			for i, av := range arow {
-				av *= alpha
-				if av == 0 {
-					continue
-				}
-				drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
-			}
-		}
-	}
 	w := parallel.MaxWorkers()
-	if 2*m*n*k < gemmParallelFlops || w == 1 || m*n > maxPrivateAcc {
-		seq(0, k, c)
+	if mulFlops(2, m, n, k) < gemmParallelFlops || w == 1 || mulFlops(m, n) > maxPrivateAcc {
+		gemmTNRange(alpha, a, b, 0, k, c)
 		return
 	}
-	minChunk := gemmParallelFlops / (2*m*n + 1)
+	minChunk := gemmParallelFlops / (mulFlops(2, m, n) + 1)
 	ranges := parallel.Split(k, w, minChunk+1)
 	if len(ranges) <= 1 {
-		seq(0, k, c)
+		gemmTNRange(alpha, a, b, 0, k, c)
 		return
 	}
-	acc := make([]*mat.Dense, len(ranges))
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
+	bufs := make([]*mat.Dense, len(ranges))
+	tasks := make([]func(), len(ranges))
 	for bi, r := range ranges {
-		go func(bi int, r parallel.Range) {
-			defer wg.Done()
-			buf := mat.NewDense(m, n)
-			seq(r.Lo, r.Hi, buf)
-			acc[bi] = buf
-		}(bi, r)
+		tasks[bi] = func() {
+			buf := mat.GetWorkspace(m, n, true)
+			gemmTNRange(alpha, a, b, r.Lo, r.Hi, buf)
+			bufs[bi] = buf
+		}
 	}
-	wg.Wait()
-	for _, buf := range acc {
+	parallel.Do(tasks...)
+	for _, buf := range bufs {
 		for i := 0; i < m; i++ {
 			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
 			brow := buf.Data[i*buf.Stride : i*buf.Stride+buf.Cols]
 			for j, v := range brow {
 				crow[j] += v
+			}
+		}
+		mat.PutWorkspace(buf)
+	}
+}
+
+// gemmTNRange accumulates dst += alpha·A(lo:hi,:)ᵀ·B(lo:hi,:). Four
+// summation rows are consumed together: each dst-row update then amortizes
+// its load/store over four multiply-adds.
+func gemmTNRange(alpha float64, a, b *mat.Dense, lo, hi int, dst *mat.Dense) {
+	n := dst.Cols
+	l := lo
+	for ; l+4 <= hi; l += 4 {
+		a0 := a.Data[l*a.Stride : l*a.Stride+a.Cols]
+		a1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+a.Cols]
+		a2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+a.Cols]
+		a3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+a.Cols]
+		b0 := b.Data[l*b.Stride : l*b.Stride+n]
+		b1 := b.Data[(l+1)*b.Stride : (l+1)*b.Stride+n]
+		b2 := b.Data[(l+2)*b.Stride : (l+2)*b.Stride+n]
+		b3 := b.Data[(l+3)*b.Stride : (l+3)*b.Stride+n]
+		for i := 0; i < dst.Rows; i++ {
+			v0 := alpha * a0[i]
+			v1 := alpha * a1[i]
+			v2 := alpha * a2[i]
+			v3 := alpha * a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+			for j := range drow {
+				drow[j] += v0*b0[j] + v1*b1[j] + v2*b2[j] + v3*b3[j]
+			}
+		}
+	}
+	for ; l < hi; l++ {
+		arow := a.Data[l*a.Stride : l*a.Stride+a.Cols]
+		brow := b.Data[l*b.Stride : l*b.Stride+n]
+		for i, av := range arow {
+			av *= alpha
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
 			}
 		}
 	}
@@ -201,56 +265,95 @@ func gemmTN(alpha float64, a, b, c *mat.Dense) {
 // contiguous rows; parallel over rows of C.
 func gemmNT(alpha float64, a, b, c *mat.Dense) {
 	m, n, k := c.Rows, c.Cols, a.Cols
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
-			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*b.Stride : j*b.Stride+b.Cols]
-				// Four independent accumulators hide FMA latency.
-				var s0, s1, s2, s3 float64
-				l := 0
-				for ; l+4 <= k; l += 4 {
-					s0 += arow[l] * brow[l]
-					s1 += arow[l+1] * brow[l+1]
-					s2 += arow[l+2] * brow[l+2]
-					s3 += arow[l+3] * brow[l+3]
-				}
-				for ; l < k; l++ {
-					s0 += arow[l] * brow[l]
-				}
-				crow[j] += alpha * (s0 + s1 + s2 + s3)
-			}
-		}
-	}
-	if 2*m*n*k < gemmParallelFlops {
-		body(0, m)
+	if mulFlops(2, m, n, k) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+		gemmNTRange(alpha, a, b, c, 0, m)
 		return
 	}
-	minChunk := gemmParallelFlops / (2*n*k + 1)
-	parallel.For(m, minChunk+1, body)
+	minChunk := gemmParallelFlops / (mulFlops(2, n, k) + 1)
+	parallel.For(m, minChunk+1, func(lo, hi int) {
+		gemmNTRange(alpha, a, b, c, lo, hi)
+	})
 }
 
-// gemmTT: C += alpha·Aᵀ·Bᵀ. Rarely used; strided access on A is accepted.
+func gemmNTRange(alpha float64, a, b, c *mat.Dense, lo, hi int) {
+	n, k := c.Cols, a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*b.Stride : j*b.Stride+b.Cols]
+			// Four independent accumulators hide FMA latency.
+			var s0, s1, s2, s3 float64
+			l := 0
+			for ; l+4 <= k; l += 4 {
+				s0 += arow[l] * brow[l]
+				s1 += arow[l+1] * brow[l+1]
+				s2 += arow[l+2] * brow[l+2]
+				s3 += arow[l+3] * brow[l+3]
+			}
+			for ; l < k; l++ {
+				s0 += arow[l] * brow[l]
+			}
+			crow[j] += alpha * (s0 + s1 + s2 + s3)
+		}
+	}
+}
+
+// gemmTT: C += alpha·Aᵀ·Bᵀ. The columns of A that feed a tile of C rows
+// are packed (transposed) into a contiguous pooled buffer, turning every
+// output element into a contiguous dot product against a row of B with
+// four independent accumulators — the strided inner loop this kernel used
+// to run never vectorizes and thrashes the TLB for large k. The same
+// packed kernel serves the sequential fallback, so small products get the
+// register blocking too.
 func gemmTT(alpha float64, a, b, c *mat.Dense) {
 	m, n := c.Rows, c.Cols
 	k := a.Rows
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
-			for j := 0; j < n; j++ {
-				brow := b.Data[j*b.Stride : j*b.Stride+b.Cols]
-				var s float64
-				for l := 0; l < k; l++ {
-					s += a.Data[l*a.Stride+i] * brow[l]
+	if mulFlops(2, m, n, k) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+		gemmTTRange(alpha, a, b, c, 0, m)
+		return
+	}
+	minChunk := gemmParallelFlops / (mulFlops(2, n, k) + 1)
+	parallel.For(m, minChunk+1, func(lo, hi int) {
+		gemmTTRange(alpha, a, b, c, lo, hi)
+	})
+}
+
+func gemmTTRange(alpha float64, a, b, c *mat.Dense, lo, hi int) {
+	n, k := c.Cols, a.Rows
+	packed := mat.GetFloats(ttIBlock*kBlock, false)
+	defer mat.PutFloats(packed)
+	for i0 := lo; i0 < hi; i0 += ttIBlock {
+		ib := min(ttIBlock, hi-i0)
+		for l0 := 0; l0 < k; l0 += kBlock {
+			lb := min(kBlock, k-l0)
+			// packed[(i−i0)·lb + (l−l0)] = A[l][i]: contiguous reads
+			// along the rows of A, tile-local strided writes.
+			for l := 0; l < lb; l++ {
+				arow := a.Data[(l0+l)*a.Stride+i0 : (l0+l)*a.Stride+i0+ib]
+				for i, av := range arow {
+					packed[i*lb+l] = av
 				}
-				crow[j] += alpha * s
+			}
+			for i := 0; i < ib; i++ {
+				apk := packed[i*lb : i*lb+lb]
+				crow := c.Data[(i0+i)*c.Stride : (i0+i)*c.Stride+n]
+				for j := 0; j < n; j++ {
+					brow := b.Data[j*b.Stride+l0 : j*b.Stride+l0+lb]
+					var s0, s1, s2, s3 float64
+					l := 0
+					for ; l+4 <= lb; l += 4 {
+						s0 += apk[l] * brow[l]
+						s1 += apk[l+1] * brow[l+1]
+						s2 += apk[l+2] * brow[l+2]
+						s3 += apk[l+3] * brow[l+3]
+					}
+					for ; l < lb; l++ {
+						s0 += apk[l] * brow[l]
+					}
+					crow[j] += alpha * (s0 + s1 + s2 + s3)
+				}
 			}
 		}
 	}
-	if 2*m*n*k < gemmParallelFlops {
-		body(0, m)
-		return
-	}
-	parallel.For(m, 1, body)
 }

@@ -2,7 +2,6 @@ package blas
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/parallel"
 	"repro/mat"
@@ -70,17 +69,15 @@ func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) 
 		}
 		return
 	}
-	// Parallel over row blocks with per-block private accumulators, then a
-	// sequential reduction (y is short: len == a.Cols).
+	// Parallel over row blocks with pooled per-block private accumulators,
+	// then a sequential reduction (y is short: len == a.Cols).
 	minChunk := gemvParallelThreshold / (a.Cols + 1)
 	ranges := parallel.Split(a.Rows, parallel.MaxWorkers(), minChunk+1)
 	acc := make([][]float64, len(ranges))
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
+	tasks := make([]func(), len(ranges))
 	for bi, r := range ranges {
-		go func(bi int, r parallel.Range) {
-			defer wg.Done()
-			buf := make([]float64, a.Cols)
+		tasks[bi] = func() {
+			buf := mat.GetFloats(a.Cols, true)
 			for i := r.Lo; i < r.Hi; i++ {
 				xi := alpha * x[i]
 				if xi == 0 {
@@ -92,13 +89,14 @@ func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) 
 				}
 			}
 			acc[bi] = buf
-		}(bi, r)
+		}
 	}
-	wg.Wait()
+	parallel.Do(tasks...)
 	for _, buf := range acc {
 		for j, v := range buf {
 			y[j] += v
 		}
+		mat.PutFloats(buf)
 	}
 }
 

@@ -1,0 +1,164 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// Tests for the packed/tiled Level-3 paths: shapes are chosen to straddle
+// the tile boundaries (kBlock, nBlock, ttIBlock, syrkJBlock) so full tiles,
+// ragged edge tiles, and the single-tile fast path are all exercised, with
+// strided views to verify packing is stride-correct.
+
+func matsClose(t *testing.T, got, want *mat.Dense, tol float64, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: %d×%d vs %d×%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			g, w := got.At(i, j), want.At(i, j)
+			if math.Abs(g-w) > tol*(1+math.Abs(w)) {
+				t.Fatalf("%s: (%d,%d) got %g want %g", label, i, j, g, w)
+			}
+		}
+	}
+}
+
+func TestGemmNNPackedWideN(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// n > nBlock triggers the packed j×k-tiled path; k straddles kBlock.
+	for _, sh := range []struct{ m, k, n int }{
+		{37, kBlock + 13, nBlock + 21},
+		{5, 3, nBlock + 1},
+		{11, kBlock, 2*nBlock + 7},
+	} {
+		a := randDenseStrided(rng, sh.m, sh.k)
+		b := randDenseStrided(rng, sh.k, sh.n)
+		c := randDense(rng, sh.m, sh.n)
+		want := c.Clone()
+		Gemm(NoTrans, NoTrans, 1.5, a, b, 0.5, c)
+		naiveGemm(NoTrans, NoTrans, 1.5, a, b, 0.5, want)
+		matsClose(t, c, want, 1e-12*float64(sh.k), "gemmNN packed")
+	}
+}
+
+func TestGemmTTPackedTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, sh := range []struct{ m, k, n int }{
+		{ttIBlock + 5, kBlock + 9, 17}, // ragged i and l tiles
+		{3, 2, 4},                      // tiny: single partial tile
+		{2 * ttIBlock, kBlock, 33},     // exact tile multiples
+	} {
+		a := randDenseStrided(rng, sh.k, sh.m) // op(A) = Aᵀ is m×k
+		b := randDenseStrided(rng, sh.n, sh.k) // op(B) = Bᵀ is k×n
+		c := randDense(rng, sh.m, sh.n)
+		want := c.Clone()
+		Gemm(Trans, Trans, -0.75, a, b, 1, c)
+		naiveGemm(Trans, Trans, -0.75, a, b, 1, want)
+		matsClose(t, c, want, 1e-12*float64(sh.k), "gemmTT packed")
+	}
+}
+
+func TestGemmTTParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, k, n := 150, 130, 120 // 2·m·n·k > gemmParallelFlops
+	a := randDense(rng, k, m)
+	b := randDense(rng, n, k)
+	c1 := randDense(rng, m, n)
+	c2 := c1.Clone()
+	prev := parallel.SetMaxWorkers(4)
+	Gemm(Trans, Trans, 1, a, b, 1, c1)
+	parallel.SetMaxWorkers(1)
+	Gemm(Trans, Trans, 1, a, b, 1, c2)
+	parallel.SetMaxWorkers(prev)
+	matsClose(t, c1, c2, 1e-13*float64(k), "gemmTT parallel vs sequential")
+}
+
+func TestSyrkWideNBlockedPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range []int{syrkJBlock + 1, syrkJBlock + 37} {
+		m := 19 // small m keeps the naive reference cheap
+		a := randDenseStrided(rng, m, n)
+		c := randDense(rng, n, n)
+		want := c.Clone()
+		SyrkUpperTrans(2, a, 0.25, c)
+		naiveSyrkUpper(2, a, 0.25, want)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				g, w := c.At(i, j), want.At(i, j)
+				if math.Abs(g-w) > 1e-12*(1+math.Abs(w)) {
+					t.Fatalf("n=%d: (%d,%d) got %g want %g", n, i, j, g, w)
+				}
+			}
+		}
+		// Strict lower triangle untouched.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if c.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: lower (%d,%d) modified", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSyrkWideNParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m, n := 400, syrkJBlock+13
+	a := randDense(rng, m, n)
+	c1 := mat.NewDense(n, n)
+	c2 := mat.NewDense(n, n)
+	prev := parallel.SetMaxWorkers(4)
+	SyrkUpperTrans(1, a, 0, c1)
+	parallel.SetMaxWorkers(1)
+	SyrkUpperTrans(1, a, 0, c2)
+	parallel.SetMaxWorkers(prev)
+	matsClose(t, c1, c2, 1e-13*float64(m), "syrk parallel vs sequential")
+}
+
+// TestMulFlopsSaturates: the threshold helper must clamp instead of
+// wrapping for products that overflow int.
+func TestMulFlopsSaturates(t *testing.T) {
+	huge := int(math.MaxInt64 / 2)
+	if got := mulFlops(2, huge, 3); got != math.MaxInt64 {
+		t.Fatalf("mulFlops overflow: got %d", got)
+	}
+	if got := mulFlops(2, 10, 20, 30); got != 12000 {
+		t.Fatalf("mulFlops exact: got %d, want 12000", got)
+	}
+	if got := mulFlops(7, 0, 1<<62); got != 0 {
+		t.Fatalf("mulFlops zero: got %d", got)
+	}
+	if got := satMul(1<<32, 1<<32); got != math.MaxInt64 {
+		t.Fatalf("satMul overflow: got %d", got)
+	}
+}
+
+// TestGramLargeStillAllocFree guards the allocation-free invariant of the
+// sequential Gram/TRSM hot path that Ite-CholQR-CP iterates over.
+func TestGramLargeStillAllocFree(t *testing.T) {
+	prev := parallel.SetMaxWorkers(1)
+	defer parallel.SetMaxWorkers(prev)
+	rng := rand.New(rand.NewSource(12))
+	a := randDense(rng, 2000, 64)
+	w := mat.NewDense(64, 64)
+	r := mat.NewDense(64, 64)
+	for i := 0; i < 64; i++ {
+		r.Set(i, i, 1+float64(i))
+		for j := i + 1; j < 64; j++ {
+			r.Set(i, j, 0.01)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		Gram(w, a)
+		TrsmRightUpperNoTrans(a, r)
+	})
+	if allocs > 0 {
+		t.Fatalf("sequential Gram+TRSM allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -2,17 +2,23 @@ package blas
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/parallel"
 	"repro/mat"
 )
 
+// syrkJBlock is the column-tile width of the wide-n SYRK path: the live
+// accumulator segment per row quad is at most syrkJBlock doubles, so it
+// stays in L1 while the quad streams. Narrow problems (n ≤ syrkJBlock)
+// keep the untiled kernel, whose whole accumulator row already fits.
+const syrkJBlock = 256
+
 // SyrkUpperTrans computes the upper triangle of C = alpha·AᵀA + beta·C for
 // symmetric C (n×n) and A (m×n). Elements strictly below the diagonal of C
 // are left untouched. The summation over the long dimension m is split
-// across workers with private accumulators, exactly mirroring how the
-// distributed algorithm forms local Gram blocks before the Allreduce.
+// across pool workers with pooled private accumulators, exactly mirroring
+// how the distributed algorithm forms local Gram blocks before the
+// Allreduce.
 func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	n := a.Cols
 	if c.Rows != n || c.Cols != n {
@@ -27,73 +33,89 @@ func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	if alpha == 0 || a.Rows == 0 || n == 0 {
 		return
 	}
-	// Four rows of A are consumed per pass so each touched element of the
-	// accumulator amortizes four multiply-adds (register blocking).
-	seq := func(lo, hi int, dst *mat.Dense) {
-		l := lo
-		for ; l+4 <= hi; l += 4 {
-			r0 := a.Data[l*a.Stride : l*a.Stride+n]
-			r1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+n]
-			r2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+n]
-			r3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+n]
-			for i := 0; i < n; i++ {
-				v0 := alpha * r0[i]
-				v1 := alpha * r1[i]
-				v2 := alpha * r2[i]
-				v3 := alpha * r3[i]
-				if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
-					continue
-				}
-				drow := dst.Data[i*dst.Stride : i*dst.Stride+n]
-				for j := i; j < n; j++ {
-					drow[j] += v0*r0[j] + v1*r1[j] + v2*r2[j] + v3*r3[j]
-				}
-			}
-		}
-		for ; l < hi; l++ {
-			arow := a.Data[l*a.Stride : l*a.Stride+n]
-			for i, av := range arow {
-				av *= alpha
-				if av == 0 {
-					continue
-				}
-				drow := dst.Data[i*dst.Stride : i*dst.Stride+n]
-				for j := i; j < n; j++ {
-					drow[j] += av * arow[j]
-				}
-			}
-		}
-	}
 	w := parallel.MaxWorkers()
-	flops := a.Rows * n * n // ≈ m·n²
+	flops := mulFlops(a.Rows, n, n) // ≈ m·n²
 	if flops < gemmParallelFlops || w == 1 {
-		seq(0, a.Rows, c)
+		syrkRange(alpha, a, 0, a.Rows, c)
 		return
 	}
-	minChunk := gemmParallelFlops / (n*n + 1)
+	minChunk := gemmParallelFlops / (mulFlops(n, n) + 1)
 	ranges := parallel.Split(a.Rows, w, minChunk+1)
 	if len(ranges) <= 1 {
-		seq(0, a.Rows, c)
+		syrkRange(alpha, a, 0, a.Rows, c)
 		return
 	}
-	acc := make([]*mat.Dense, len(ranges))
-	var wg sync.WaitGroup
-	wg.Add(len(ranges))
+	bufs := make([]*mat.Dense, len(ranges))
+	tasks := make([]func(), len(ranges))
 	for bi, r := range ranges {
-		go func(bi int, r parallel.Range) {
-			defer wg.Done()
-			buf := mat.NewDense(n, n)
-			seq(r.Lo, r.Hi, buf)
-			acc[bi] = buf
-		}(bi, r)
+		tasks[bi] = func() {
+			buf := mat.GetWorkspace(n, n, true)
+			syrkRange(alpha, a, r.Lo, r.Hi, buf)
+			bufs[bi] = buf
+		}
 	}
-	wg.Wait()
-	for _, buf := range acc {
+	parallel.Do(tasks...)
+	for _, buf := range bufs {
 		for i := 0; i < n; i++ {
 			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
 			brow := buf.Data[i*buf.Stride : i*buf.Stride+buf.Cols]
 			for j := i; j < n; j++ {
 				crow[j] += brow[j]
+			}
+		}
+		mat.PutWorkspace(buf)
+	}
+}
+
+// syrkRange accumulates dst += alpha·A(lo:hi,:)ᵀ·A(lo:hi,:) (upper
+// triangle only). Four rows of A are consumed per pass so each touched
+// accumulator element amortizes four multiply-adds (register blocking);
+// for wide n the columns are additionally tiled so the active accumulator
+// segment stays cache resident.
+func syrkRange(alpha float64, a *mat.Dense, lo, hi int, dst *mat.Dense) {
+	n := a.Cols
+	if n <= syrkJBlock {
+		syrkTile(alpha, a, 0, n, lo, hi, dst)
+		return
+	}
+	for j0 := 0; j0 < n; j0 += syrkJBlock {
+		syrkTile(alpha, a, j0, min(j0+syrkJBlock, n), lo, hi, dst)
+	}
+}
+
+// syrkTile accumulates the columns [j0, j1) of the upper triangle of
+// dst += alpha·AᵀA over summation rows [lo, hi).
+func syrkTile(alpha float64, a *mat.Dense, j0, j1, lo, hi int, dst *mat.Dense) {
+	l := lo
+	for ; l+4 <= hi; l += 4 {
+		r0 := a.Data[l*a.Stride : l*a.Stride+j1]
+		r1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+j1]
+		r2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+j1]
+		r3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+j1]
+		for i := 0; i < j1; i++ {
+			v0 := alpha * r0[i]
+			v1 := alpha * r1[i]
+			v2 := alpha * r2[i]
+			v3 := alpha * r3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Stride : i*dst.Stride+j1]
+			for j := max(i, j0); j < j1; j++ {
+				drow[j] += v0*r0[j] + v1*r1[j] + v2*r2[j] + v3*r3[j]
+			}
+		}
+	}
+	for ; l < hi; l++ {
+		arow := a.Data[l*a.Stride : l*a.Stride+j1]
+		for i := 0; i < j1; i++ {
+			av := alpha * arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Stride : i*dst.Stride+j1]
+			for j := max(i, j0); j < j1; j++ {
+				drow[j] += av * arow[j]
 			}
 		}
 	}

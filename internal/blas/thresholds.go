@@ -1,0 +1,31 @@
+package blas
+
+import "math"
+
+// Parallel-dispatch thresholds compare flop counts like 2·m·n·k against a
+// constant. The products are computed with saturating arithmetic: for the
+// paper's larger shapes (m = 10⁵⁻⁶ rows) a plain int product can overflow
+// on 32-bit builds — or for extreme inputs even on 64-bit — and a wrapped
+// negative count would silently force the sequential path (or, worse, a
+// nonsense chunk size).
+
+// satMul returns a·b for non-negative a, b, saturating at math.MaxInt.
+func satMul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt/b {
+		return math.MaxInt
+	}
+	return a * b
+}
+
+// mulFlops returns the saturating product of its arguments; use it for
+// flop-count threshold tests, e.g. mulFlops(2, m, n, k).
+func mulFlops(dims ...int) int {
+	p := 1
+	for _, d := range dims {
+		p = satMul(p, d)
+	}
+	return p
+}

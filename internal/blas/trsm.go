@@ -27,53 +27,58 @@ func TrsmRightUpperNoTrans(b, r *mat.Dense) {
 			panic(fmt.Sprintf("blas: TrsmRightUpperNoTrans singular R at diagonal %d", k))
 		}
 	}
-	// Four B rows are solved together so each R row streamed from cache
-	// feeds four independent substitution chains (register blocking + ILP).
-	body := func(lo, hi int) {
-		i := lo
-		for ; i+4 <= hi; i += 4 {
-			x0 := b.Data[i*b.Stride : i*b.Stride+n]
-			x1 := b.Data[(i+1)*b.Stride : (i+1)*b.Stride+n]
-			x2 := b.Data[(i+2)*b.Stride : (i+2)*b.Stride+n]
-			x3 := b.Data[(i+3)*b.Stride : (i+3)*b.Stride+n]
-			for k := 0; k < n; k++ {
-				rrow := r.Data[k*r.Stride : k*r.Stride+n]
-				inv := 1 / rrow[k]
-				v0 := x0[k] * inv
-				v1 := x1[k] * inv
-				v2 := x2[k] * inv
-				v3 := x3[k] * inv
-				x0[k], x1[k], x2[k], x3[k] = v0, v1, v2, v3
-				for j := k + 1; j < n; j++ {
-					rv := rrow[j]
-					x0[j] -= v0 * rv
-					x1[j] -= v1 * rv
-					x2[j] -= v2 * rv
-					x3[j] -= v3 * rv
-				}
-			}
-		}
-		for ; i < hi; i++ {
-			x := b.Data[i*b.Stride : i*b.Stride+n]
-			for k := 0; k < n; k++ {
-				rrow := r.Data[k*r.Stride : k*r.Stride+n]
-				xk := x[k] / rrow[k]
-				x[k] = xk
-				if xk == 0 {
-					continue
-				}
-				for j := k + 1; j < n; j++ {
-					x[j] -= xk * rrow[j]
-				}
-			}
-		}
-	}
-	if b.Rows*n*n < gemmParallelFlops {
-		body(0, b.Rows)
+	if mulFlops(b.Rows, n, n) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+		trsmRightRange(b, r, 0, b.Rows)
 		return
 	}
-	minChunk := gemmParallelFlops / (n*n + 1)
-	parallel.For(b.Rows, minChunk+1, body)
+	minChunk := gemmParallelFlops / (mulFlops(n, n) + 1)
+	parallel.For(b.Rows, minChunk+1, func(lo, hi int) {
+		trsmRightRange(b, r, lo, hi)
+	})
+}
+
+// trsmRightRange solves rows [lo, hi) of B := B·R⁻¹. Four B rows are
+// solved together so each R row streamed from cache feeds four independent
+// substitution chains (register blocking + ILP).
+func trsmRightRange(b, r *mat.Dense, lo, hi int) {
+	n := b.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		x0 := b.Data[i*b.Stride : i*b.Stride+n]
+		x1 := b.Data[(i+1)*b.Stride : (i+1)*b.Stride+n]
+		x2 := b.Data[(i+2)*b.Stride : (i+2)*b.Stride+n]
+		x3 := b.Data[(i+3)*b.Stride : (i+3)*b.Stride+n]
+		for k := 0; k < n; k++ {
+			rrow := r.Data[k*r.Stride : k*r.Stride+n]
+			inv := 1 / rrow[k]
+			v0 := x0[k] * inv
+			v1 := x1[k] * inv
+			v2 := x2[k] * inv
+			v3 := x3[k] * inv
+			x0[k], x1[k], x2[k], x3[k] = v0, v1, v2, v3
+			for j := k + 1; j < n; j++ {
+				rv := rrow[j]
+				x0[j] -= v0 * rv
+				x1[j] -= v1 * rv
+				x2[j] -= v2 * rv
+				x3[j] -= v3 * rv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		x := b.Data[i*b.Stride : i*b.Stride+n]
+		for k := 0; k < n; k++ {
+			rrow := r.Data[k*r.Stride : k*r.Stride+n]
+			xk := x[k] / rrow[k]
+			x[k] = xk
+			if xk == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				x[j] -= xk * rrow[j]
+			}
+		}
+	}
 }
 
 // TrsmLeftUpperTrans computes B := R⁻ᵀ·B for upper triangular R, i.e. it

@@ -79,9 +79,12 @@ type qp3State struct {
 func (st *qp3State) laqps(j0, jb int) (kb int) {
 	a, tau, jpvt, vn1, vn2 := st.a, st.tau, st.jpvt, st.vn1, st.vn2
 	m, n := a.Rows, a.Cols
-	f := mat.NewDense(n-j0, jb)
-	auxv := make([]float64, jb)
-	wrow := make([]float64, n)
+	f := mat.GetWorkspace(n-j0, jb, true)
+	auxv := mat.GetFloats(jb, false)
+	wrow := mat.GetFloats(n, false)
+	defer mat.PutWorkspace(f)
+	defer mat.PutFloats(auxv)
+	defer mat.PutFloats(wrow)
 	sticky := false
 
 	k := 0

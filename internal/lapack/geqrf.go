@@ -20,8 +20,10 @@ func Geqrf(a *mat.Dense, tau []float64) {
 	if len(tau) < k {
 		panic(fmt.Sprintf("lapack: Geqrf tau length %d < %d", len(tau), k))
 	}
-	colBuf := make([]float64, m)
-	work := make([]float64, n)
+	colBuf := mat.GetFloats(m, false)
+	work := mat.GetFloats(n, false)
+	defer mat.PutFloats(colBuf)
+	defer mat.PutFloats(work)
 	for j := 0; j < k; j += qrBlock {
 		jb := min(qrBlock, k-j)
 		// Factor the panel a(j:m, j:j+jb) with Level-2 updates.
@@ -43,10 +45,12 @@ func Geqrf(a *mat.Dense, tau []float64) {
 		// Blocked update of the trailing matrix: C := (I − V·T·Vᵀ)ᵀ·C.
 		if j+jb < n {
 			v := extractV(a, j, j, jb)
-			t := mat.NewDense(jb, jb)
+			t := mat.GetWorkspace(jb, jb, true)
 			larft(v, tau[j:j+jb], t)
 			trailing := a.Slice(j, m, j+jb, n)
 			larfbLeft(true, v, t, trailing)
+			mat.PutWorkspace(t)
+			mat.PutWorkspace(v)
 		}
 	}
 }
@@ -70,7 +74,7 @@ func Orgqr(a *mat.Dense, tau []float64) {
 	for j := 0; j < k; j += qrBlock {
 		jb := min(qrBlock, k-j)
 		v := extractV(a, j, j, jb)
-		t := mat.NewDense(jb, jb)
+		t := mat.GetWorkspace(jb, jb, true)
 		larft(v, tau[j:j+jb], t)
 		blocks = append(blocks, block{v: v, t: t, j: j})
 	}
@@ -84,6 +88,8 @@ func Orgqr(a *mat.Dense, tau []float64) {
 		b := blocks[bi]
 		sub := a.Slice(b.j, m, b.j, n)
 		larfbLeft(false, b.v, b.t, sub)
+		mat.PutWorkspace(b.t)
+		mat.PutWorkspace(b.v)
 	}
 }
 

@@ -81,6 +81,8 @@ func applyReflectorLeft(tau float64, v []float64, c *mat.Dense, work []float64) 
 // diagonal and zeros above it. T must be k×k.
 func larft(v *mat.Dense, tau []float64, t *mat.Dense) {
 	k := v.Cols
+	scratch := mat.GetFloats(k, false)
+	defer mat.PutFloats(scratch)
 	for i := 0; i < k; i++ {
 		t.Set(i, i, tau[i])
 		if i == 0 || tau[i] == 0 {
@@ -93,7 +95,10 @@ func larft(v *mat.Dense, tau []float64, t *mat.Dense) {
 			continue
 		}
 		// w = V(:, 0:i)ᵀ · V(:, i), then T(0:i, i) = −τ_i · T(0:i,0:i) · w.
-		w := make([]float64, i)
+		w := scratch[:i]
+		for j := range w {
+			w[j] = 0
+		}
 		for r := 0; r < v.Rows; r++ {
 			vi := v.Data[r*v.Stride+i]
 			if vi == 0 {
@@ -148,7 +153,8 @@ func larfbLeft(trans bool, v, t, c *mat.Dense) {
 		return
 	}
 	k := v.Cols
-	w := mat.NewDense(k, c.Cols)
+	w := mat.GetWorkspace(k, c.Cols, false)
+	defer mat.PutWorkspace(w)
 	blas.Gemm(blas.Trans, blas.NoTrans, 1, v, c, 0, w) // W = Vᵀ·C
 	if trans {
 		trmmLeftUpperTransSmall(t, w) // W = Tᵀ·W
@@ -159,11 +165,12 @@ func larfbLeft(trans bool, v, t, c *mat.Dense) {
 }
 
 // extractV materializes the unit lower-trapezoidal reflector panel stored
-// in a(i0:m, j0:j0+k) into a fresh (m−i0)×k matrix with explicit ones on
-// the diagonal and zeros above.
+// in a(i0:m, j0:j0+k) into a pooled (m−i0)×k matrix with explicit ones on
+// the diagonal and zeros above. The caller owns the result and should
+// release it with mat.PutWorkspace when done.
 func extractV(a *mat.Dense, i0, j0, k int) *mat.Dense {
 	m := a.Rows - i0
-	v := mat.NewDense(m, k)
+	v := mat.GetWorkspace(m, k, true)
 	for j := 0; j < k; j++ {
 		v.Set(j, j, 1)
 		for i := j + 1; i < m; i++ {

@@ -1,46 +1,44 @@
 // Package parallel provides the shared-memory parallel runtime used by the
-// BLAS and LAPACK substrates: a chunked parallel-for over index ranges and
-// helpers for partitioning work across cores.
+// BLAS and LAPACK substrates: a persistent worker pool, a chunked
+// parallel-for over index ranges, and helpers for partitioning work.
 //
 // The paper's reference implementation relies on vendor-threaded BLAS
 // (Intel MKL, Fujitsu SSL2). This package plays that role here: Level-3
-// kernels split their output into row panels and run one goroutine per
-// panel, while Level-2 and Level-1 kernels stay sequential unless the
-// problem is large enough to amortize goroutine startup.
+// kernels split their output into row panels and dispatch the panels to a
+// fixed set of long-lived workers, while Level-2 and Level-1 kernels stay
+// sequential unless the problem is large enough to amortize dispatch.
+// Workers are started lazily on first use and reused across regions, so
+// the steady-state Ite-CholQR-CP iteration loop neither spawns goroutines
+// nor allocates.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// maxWorkers caps the number of goroutines any single parallel region may
-// spawn. It defaults to GOMAXPROCS and can be overridden for experiments
-// (e.g. single-threaded baselines) via SetMaxWorkers.
-var (
-	mu         sync.RWMutex
-	maxWorkers = runtime.GOMAXPROCS(0)
-)
+// maxWorkers caps the parallel width of any single region. It defaults to
+// GOMAXPROCS and can be overridden for experiments (e.g. single-threaded
+// baselines) via SetMaxWorkers. Stored atomically so the single-threaded
+// fast path costs one load.
+var maxWorkers atomic.Int64
+
+func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
 
 // SetMaxWorkers bounds the parallel width of subsequent parallel regions.
-// n < 1 resets to GOMAXPROCS. It returns the previous value.
+// n < 1 resets to GOMAXPROCS. It returns the previous value. Safe to call
+// concurrently with running regions: in-flight regions keep the width they
+// started with, and surplus pool workers retire as they go idle.
 func SetMaxWorkers(n int) int {
-	mu.Lock()
-	defer mu.Unlock()
-	prev := maxWorkers
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	maxWorkers = n
-	return prev
+	return int(maxWorkers.Swap(int64(n)))
 }
 
 // MaxWorkers reports the current parallel width bound.
-func MaxWorkers() int {
-	mu.RLock()
-	defer mu.RUnlock()
-	return maxWorkers
-}
+func MaxWorkers() int { return int(maxWorkers.Load()) }
 
 // Range describes a half-open index interval [Lo, Hi).
 type Range struct {
@@ -57,18 +55,7 @@ func Split(n, parts, minChunk int) []Range {
 	if n <= 0 {
 		return nil
 	}
-	if parts < 1 {
-		parts = 1
-	}
-	if minChunk < 1 {
-		minChunk = 1
-	}
-	if maxParts := n / minChunk; parts > maxParts {
-		parts = maxParts
-	}
-	if parts < 1 {
-		parts = 1
-	}
+	parts = clampParts(n, parts, minChunk)
 	out := make([]Range, 0, parts)
 	chunk := n / parts
 	rem := n % parts
@@ -84,46 +71,99 @@ func Split(n, parts, minChunk int) []Range {
 	return out
 }
 
+// clampParts bounds the number of chunks so each is at least minChunk wide.
+func clampParts(n, parts, minChunk int) int {
+	if parts < 1 {
+		parts = 1
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if maxParts := n / minChunk; parts > maxParts {
+		parts = maxParts
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
 // For runs body(lo, hi) over a partition of [0, n) using up to MaxWorkers
-// goroutines. minChunk sets the smallest useful grain: if n/minChunk < 2
-// the body runs inline on the calling goroutine. The body must be safe to
-// invoke concurrently on disjoint ranges.
+// ways of parallelism (pool workers plus the calling goroutine). minChunk
+// sets the smallest useful grain: if n/minChunk < 2 the body runs inline
+// on the calling goroutine. The body must be safe to invoke concurrently
+// on disjoint ranges.
+//
+// Chunks the pool cannot absorb (all workers busy, e.g. under nested
+// parallelism) run inline on the caller, so For never blocks on an
+// unclaimed task and nesting cannot deadlock.
 func For(n, minChunk int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	w := MaxWorkers()
-	ranges := Split(n, w, minChunk)
-	if len(ranges) <= 1 {
+	if w == 1 {
 		body(0, n)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(ranges) - 1)
-	for _, r := range ranges[1:] {
-		go func(r Range) {
-			defer wg.Done()
-			body(r.Lo, r.Hi)
-		}(r)
-	}
-	body(ranges[0].Lo, ranges[0].Hi)
-	wg.Wait()
-}
-
-// Do runs each task concurrently and waits for all of them. Tasks beyond
-// MaxWorkers are still started (the scheduler multiplexes them); Do is for
-// small task counts such as one task per rank in the distributed substrate.
-func Do(tasks ...func()) {
-	if len(tasks) == 0 {
+	parts := clampParts(n, w, minChunk)
+	if parts <= 1 {
+		body(0, n)
 		return
 	}
-	if len(tasks) == 1 {
+	chunk := n / parts
+	rem := n % parts
+	// Chunk 0 (always) and every chunk the pool cannot take (rarely) run
+	// on the calling goroutine; [inlineLo, n) tracks the latter tail.
+	wg := wgPool.Get().(*sync.WaitGroup)
+	inlineLo := n
+	lo := chunk
+	if rem > 0 {
+		lo++
+	}
+	hi0 := lo
+	for i := 1; i < parts; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		wk := acquire()
+		if wk == nil {
+			inlineLo = lo
+			break
+		}
+		wg.Add(1)
+		wk.ch <- task{body: body, lo: lo, hi: hi, wg: wg}
+		lo = hi
+	}
+	body(0, hi0)
+	if inlineLo < n {
+		body(inlineLo, n)
+	}
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// Do runs each task concurrently and waits for all of them. Every task is
+// guaranteed its own flow of control (pool worker, fresh goroutine beyond
+// the pool limit, or the calling goroutine for the first task), so tasks
+// may synchronize with one another — the distributed substrate runs one
+// task per rank and the ranks exchange messages and barrier.
+func Do(tasks ...func()) {
+	switch len(tasks) {
+	case 0:
+		return
+	case 1:
 		tasks[0]()
 		return
 	}
-	var wg sync.WaitGroup
+	wg := wgPool.Get().(*sync.WaitGroup)
 	wg.Add(len(tasks) - 1)
 	for _, t := range tasks[1:] {
+		if wk := acquire(); wk != nil {
+			wk.ch <- task{fn: t, wg: wg}
+			continue
+		}
 		go func(f func()) {
 			defer wg.Done()
 			f()
@@ -131,4 +171,5 @@ func Do(tasks ...func()) {
 	}
 	tasks[0]()
 	wg.Wait()
+	wgPool.Put(wg)
 }

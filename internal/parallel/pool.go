@@ -1,0 +1,103 @@
+package parallel
+
+import "sync"
+
+// The persistent worker pool. Parallel regions used to spawn fresh
+// goroutines per call; with one region per Level-3 kernel invocation and
+// several kernel invocations per Ite-CholQR-CP iteration, goroutine startup
+// and the associated allocations showed up in the iteration loop. Workers
+// are now long-lived goroutines started lazily on first use and reused
+// across regions.
+//
+// Invariant: a worker is on the free list exactly when it is (or is about
+// to be) blocked receiving on its private channel. acquire therefore only
+// ever hands out workers that are guaranteed to pick up the next task, and
+// dispatchers that find the pool exhausted run the chunk inline on the
+// calling goroutine instead of queueing. Because nothing ever waits on an
+// unclaimed task, nested parallel regions (a For inside a Do rank, the
+// TSQR recursion) cannot deadlock: every wait is on a task already running
+// on a dedicated worker or on the caller itself.
+type task struct {
+	// Exactly one of body (with lo/hi) or fn is set.
+	body   func(lo, hi int)
+	lo, hi int
+	fn     func()
+	wg     *sync.WaitGroup
+}
+
+// worker is a long-lived pool goroutine. Its channel has capacity 1 so
+// dispatch never blocks the sender: the worker is idle by the free-list
+// invariant and drains the slot immediately.
+type worker struct {
+	ch chan task
+}
+
+var pool struct {
+	mu      sync.Mutex
+	free    []*worker // idle workers, LIFO so the hottest worker runs next
+	spawned int       // live workers (running or idle)
+}
+
+// acquire pops an idle worker, spawning a new one if the pool is below its
+// limit (MaxWorkers-1: the caller of a parallel region always executes one
+// chunk itself). It returns nil when every permitted worker is busy; the
+// caller must then run the chunk inline.
+func acquire() *worker {
+	limit := MaxWorkers() - 1
+	pool.mu.Lock()
+	if n := len(pool.free); n > 0 {
+		w := pool.free[n-1]
+		pool.free[n-1] = nil
+		pool.free = pool.free[:n-1]
+		pool.mu.Unlock()
+		return w
+	}
+	if pool.spawned < limit {
+		pool.spawned++
+		pool.mu.Unlock()
+		w := &worker{ch: make(chan task, 1)}
+		go w.loop()
+		return w
+	}
+	pool.mu.Unlock()
+	return nil
+}
+
+// release returns a worker to the free list, or retires it (reports false)
+// when SetMaxWorkers has shrunk the pool below the live-worker count.
+func (w *worker) release() bool {
+	limit := MaxWorkers() - 1
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if pool.spawned > limit {
+		pool.spawned--
+		return false
+	}
+	pool.free = append(pool.free, w)
+	return true
+}
+
+func (w *worker) loop() {
+	for t := range w.ch {
+		if t.fn != nil {
+			t.fn()
+		} else {
+			t.body(t.lo, t.hi)
+		}
+		t.wg.Done()
+		if !w.release() {
+			return
+		}
+	}
+}
+
+// poolStats reports (live, idle) worker counts; test hook.
+func poolStats() (spawned, idle int) {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	return pool.spawned, len(pool.free)
+}
+
+// wgPool recycles the per-region WaitGroups so a steady-state parallel
+// region performs no heap allocation at all.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}

@@ -1,0 +1,196 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestConcurrentForRegions launches many For regions from independent
+// goroutines at once; every region must still visit each of its indices
+// exactly once even while competing for the shared worker pool.
+func TestConcurrentForRegions(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	const regions = 16
+	const n = 4097
+	var wg sync.WaitGroup
+	for g := 0; g < regions; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum atomic.Int64
+			For(n, 1, func(lo, hi int) {
+				local := int64(0)
+				for i := lo; i < hi; i++ {
+					local += int64(i)
+				}
+				sum.Add(local)
+			})
+			if want := int64(n) * (n - 1) / 2; sum.Load() != want {
+				t.Errorf("region sum = %d, want %d", sum.Load(), want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSetMaxWorkersMidFlight resizes the pool repeatedly while For regions
+// are running. Regions must stay correct throughout, and the pool must
+// settle back to at most the final limit once quiescent.
+func TestSetMaxWorkersMidFlight(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	stop := make(chan struct{})
+	var resizer sync.WaitGroup
+	resizer.Add(1)
+	go func() {
+		defer resizer.Done()
+		sizes := []int{1, 8, 2, 6, 3}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			SetMaxWorkers(sizes[i%len(sizes)])
+			runtime.Gosched()
+		}
+	}()
+	const n = 1 << 12
+	for iter := 0; iter < 200; iter++ {
+		var sum atomic.Int64
+		For(n, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(1)
+			}
+		})
+		if sum.Load() != n {
+			t.Fatalf("iteration %d: visited %d indices, want %d", iter, sum.Load(), n)
+		}
+	}
+	close(stop)
+	resizer.Wait()
+	// Drain: after the churn, a fixed small limit must retire surplus
+	// workers as they pass through release. Retirement happens as workers
+	// finish tasks, so run regions until the count settles.
+	SetMaxWorkers(2)
+	settled := false
+	for i := 0; i < 200 && !settled; i++ {
+		For(1024, 1, func(lo, hi int) {})
+		spawned, _ := poolStats()
+		settled = spawned <= 1
+		runtime.Gosched()
+	}
+	if !settled {
+		spawned, _ := poolStats()
+		t.Fatalf("pool kept %d workers alive with MaxWorkers=2 (limit 1)", spawned)
+	}
+}
+
+// TestNestedParallelismNoDeadlock exercises For inside Do inside For with
+// a pool far smaller than the nesting demands; the inline-fallback rule
+// must keep everything progressing.
+func TestNestedParallelismNoDeadlock(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	defer SetMaxWorkers(prev)
+	var total atomic.Int64
+	For(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			Do(
+				func() {
+					For(100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+				},
+				func() {
+					For(100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+				},
+			)
+		}
+	})
+	if total.Load() != 8*2*100 {
+		t.Fatalf("total = %d, want %d", total.Load(), 8*2*100)
+	}
+}
+
+// TestDoTasksTrulyConcurrent verifies Do gives every task its own flow of
+// control even when the pool is exhausted: tasks that must rendezvous with
+// each other complete instead of deadlocking.
+func TestDoTasksTrulyConcurrent(t *testing.T) {
+	prev := SetMaxWorkers(2) // pool limit 1, but 4 tasks must all run
+	defer SetMaxWorkers(prev)
+	const tasks = 4
+	var barrier sync.WaitGroup
+	barrier.Add(tasks)
+	fns := make([]func(), tasks)
+	for i := range fns {
+		fns[i] = func() {
+			barrier.Done()
+			barrier.Wait() // blocks until every task has started
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		Do(fns...)
+		close(done)
+	}()
+	<-done
+}
+
+// TestWorkerReuse checks that back-to-back regions are served by persistent
+// workers rather than fresh spawns: the live-worker count stays bounded by
+// the pool limit across many regions.
+func TestWorkerReuse(t *testing.T) {
+	prev := SetMaxWorkers(4)
+	defer SetMaxWorkers(prev)
+	for i := 0; i < 100; i++ {
+		For(1<<12, 1, func(lo, hi int) {})
+	}
+	spawned, idle := poolStats()
+	if spawned > 3 {
+		t.Fatalf("spawned %d workers, want ≤ 3 (MaxWorkers-1)", spawned)
+	}
+	if idle > spawned {
+		t.Fatalf("idle %d > spawned %d", idle, spawned)
+	}
+}
+
+// TestSplitPropertyMinChunk: every range is at least minChunk wide unless
+// the whole interval is shorter than minChunk (then a single range covers
+// it), ranges tile [0, n) in order, and the part count respects the cap.
+func TestSplitPropertyMinChunk(t *testing.T) {
+	f := func(n16 uint16, parts8, minChunk8 uint8) bool {
+		n, parts, minChunk := int(n16), int(parts8), int(minChunk8)
+		rs := Split(n, parts, minChunk)
+		if n == 0 {
+			return rs == nil
+		}
+		if minChunk < 1 {
+			minChunk = 1
+		}
+		if n < minChunk {
+			return len(rs) == 1 && rs[0] == Range{0, n}
+		}
+		lo := 0
+		for _, r := range rs {
+			if r.Lo != lo || r.Len() <= 0 {
+				return false
+			}
+			if r.Len() < minChunk {
+				return false
+			}
+			lo = r.Hi
+		}
+		if lo != n {
+			return false
+		}
+		if parts >= 1 && len(rs) > parts {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
