@@ -1,13 +1,28 @@
 # tsqrcp — build/test/reproduce targets (stdlib-only Go; no external deps)
 
 GO ?= go
+COVER_MIN ?= 70
+BENCH_TOLERANCE ?= 0.25
 
-.PHONY: all build vet test race bench bench-json cover repro repro-paper examples clean
+.PHONY: all ci build fmt-check vet test race bench bench-json bench-smoke \
+	cover cover-gate repro repro-paper examples clean
 
 all: build vet test
 
+# Everything the CI workflow runs, in the same order: the lint job
+# (fmt-check + vet), the test job, the race job, the coverage gate, and
+# the benchmark smoke gate. Green here ⇒ green on CI (modulo runner noise
+# on bench-smoke, which CI loosens via BENCH_TOLERANCE).
+ci: fmt-check vet build test race cover-gate bench-smoke
+
 build:
 	$(GO) build ./...
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -16,20 +31,36 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./internal/... ./mat/ ./dist/
 
 # One benchmark per paper figure/table plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Kernel regression numbers (Gram/TRSM/GEMM + end-to-end IteCholQRCP) as
-# JSON, for diffing against the committed BENCH_kernels.json.
+# Kernel regression numbers (Gram/TRSM/GEMM + end-to-end IteCholQRCP,
+# with per-stage trace rows) as JSON, for diffing against the committed
+# BENCH_kernels.json. Schema: bench/SCHEMA.md.
 bench-json:
-	$(GO) run ./cmd/bench-kernels -o BENCH_kernels.json
+	$(GO) run ./cmd/bench-kernels -trace -o BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
+
+# The CI benchmark gate: reduced preset, schema validation, and a
+# GFLOP/s comparison against the committed baseline.
+bench-smoke:
+	$(GO) run ./cmd/bench-kernels -quick -trace -e2e-m 4000 -o bench_candidate.json
+	BENCH_TOLERANCE=$(BENCH_TOLERANCE) \
+		$(GO) run ./cmd/bench-check -baseline BENCH_kernels.json -candidate bench_candidate.json
 
 cover:
 	$(GO) test -cover ./...
+
+# Fail when statement coverage of internal/... falls below COVER_MIN %.
+cover-gate:
+	@$(GO) test -coverprofile=cover.out ./internal/...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "internal/... coverage: $$total% (gate: $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+		{ echo "coverage below $(COVER_MIN)%" >&2; exit 1; }
 
 # Full reproduction report at reduced scale (~30 s on a laptop).
 repro:
@@ -51,4 +82,5 @@ examples:
 	$(GO) run ./examples/spectral
 
 clean:
-	rm -f report.txt report-paper.txt test_output.txt bench_output.txt
+	rm -f report.txt report-paper.txt test_output.txt bench_output.txt \
+		cover.out bench_candidate.json cpu.out heap.out runtime.trace

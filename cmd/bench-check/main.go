@@ -1,0 +1,199 @@
+// Command bench-check is the CI benchmark-regression gate: it validates a
+// freshly produced BENCH_kernels.json against the schema of bench/SCHEMA.md
+// and compares kernel throughput against the committed baseline, failing
+// (exit 1) when any kernel's GFLOP/s drops by more than the tolerance.
+//
+// Usage:
+//
+//	go run ./cmd/bench-check -baseline BENCH_kernels.json -candidate new.json
+//	BENCH_TOLERANCE=0.40 go run ./cmd/bench-check ...   # looser gate
+//
+// Rows are matched by (name, stage, m, n). Rows with flop attribution are
+// compared on GFLOP/s (machine-load robust); flop-less rows (end-to-end
+// entries, Swap stages) are compared on ns/op, and only when the baseline
+// is at least 1 ms — sub-millisecond timings are noise on shared CI
+// runners. Schema versions must match exactly; a candidate produced by a
+// newer tool against an older baseline is a hard error, not a skip.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/metrics"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	Stage       string  `json:"stage,omitempty"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	GFLOPS      float64 `json:"gflops"`
+}
+
+type report struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	MaxWorkers int      `json:"max_workers"`
+	Records    []record `json:"records"`
+}
+
+type key struct {
+	name, stage string
+	m, n        int
+}
+
+// minCompareNs: ns-only rows below this baseline duration are skipped —
+// they are dominated by timer and scheduler noise on CI runners.
+const minCompareNs = 1e6
+
+func load(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// validate checks the structural invariants the schema documents.
+func validate(path string, rep *report) []string {
+	var errs []string
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s: %s", path, fmt.Sprintf(format, args...)))
+	}
+	if rep.Schema != metrics.SchemaVersion {
+		bad("schema %q, want %q", rep.Schema, metrics.SchemaVersion)
+	}
+	if len(rep.Records) == 0 {
+		bad("no records")
+	}
+	seen := make(map[key]bool, len(rep.Records))
+	for i, r := range rep.Records {
+		switch {
+		case r.Name == "":
+			bad("record %d: empty name", i)
+		case r.M <= 0 || r.N <= 0:
+			bad("record %d (%s): non-positive shape %dx%d", i, r.Name, r.M, r.N)
+		case r.NsPerOp <= 0:
+			bad("record %d (%s): non-positive ns_per_op %g", i, r.Name, r.NsPerOp)
+		case r.GFLOPS < 0:
+			bad("record %d (%s): negative gflops", i, r.Name)
+		}
+		k := key{r.Name, r.Stage, r.M, r.N}
+		if seen[k] {
+			bad("duplicate row %+v", k)
+		}
+		seen[k] = true
+	}
+	return errs
+}
+
+func tolerance() (float64, error) {
+	env := os.Getenv("BENCH_TOLERANCE")
+	if env == "" {
+		return 0.25, nil
+	}
+	tol, err := strconv.ParseFloat(env, 64)
+	if err != nil || tol <= 0 || tol >= 1 {
+		return 0, fmt.Errorf("BENCH_TOLERANCE=%q: want a fraction in (0,1)", env)
+	}
+	return tol, nil
+}
+
+// compare returns one message per regression and the number of row pairs
+// actually gated.
+func compare(base, cand *report, tol float64) (regressions []string, compared int) {
+	idx := make(map[key]record, len(base.Records))
+	for _, r := range base.Records {
+		idx[key{r.Name, r.Stage, r.M, r.N}] = r
+	}
+	for _, c := range cand.Records {
+		b, ok := idx[key{c.Name, c.Stage, c.M, c.N}]
+		if !ok {
+			continue
+		}
+		label := c.Name
+		if c.Stage != "" {
+			label += "/" + c.Stage
+		}
+		label = fmt.Sprintf("%s m=%d n=%d", label, c.M, c.N)
+		switch {
+		case b.GFLOPS > 0 && c.GFLOPS > 0:
+			compared++
+			if c.GFLOPS < b.GFLOPS*(1-tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.2f GFLOP/s vs baseline %.2f (-%.0f%%, tolerance %.0f%%)",
+					label, c.GFLOPS, b.GFLOPS, 100*(1-c.GFLOPS/b.GFLOPS), 100*tol))
+			}
+		case b.NsPerOp >= minCompareNs:
+			compared++
+			if c.NsPerOp > b.NsPerOp*(1+tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f ns/op vs baseline %.0f (+%.0f%%, tolerance %.0f%%)",
+					label, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tol))
+			}
+		}
+	}
+	return regressions, compared
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_kernels.json", "committed baseline JSON")
+	candidate := flag.String("candidate", "", "freshly produced JSON to gate (required)")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "bench-check: -candidate is required")
+		os.Exit(2)
+	}
+	tol, err := tolerance()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-check:", err)
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-check:", err)
+		os.Exit(2)
+	}
+	cand, err := load(*candidate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-check:", err)
+		os.Exit(2)
+	}
+
+	var fatal bool
+	for _, msg := range append(validate(*baseline, base), validate(*candidate, cand)...) {
+		fmt.Fprintln(os.Stderr, "bench-check: schema:", msg)
+		fatal = true
+	}
+	if fatal {
+		os.Exit(1)
+	}
+
+	regressions, compared := compare(base, cand, tol)
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "bench-check: no comparable rows between baseline and candidate")
+		os.Exit(1)
+	}
+	for _, msg := range regressions {
+		fmt.Fprintln(os.Stderr, "bench-check: REGRESSION:", msg)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench-check: OK — %d rows within %.0f%% of baseline\n", compared, 100*tol)
+}

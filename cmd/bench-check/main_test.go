@@ -1,0 +1,136 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/metrics"
+)
+
+func sampleReport() *report {
+	return &report{
+		Schema: metrics.SchemaVersion,
+		Records: []record{
+			{Name: "Gram", M: 10000, N: 64, NsPerOp: 5e6, GFLOPS: 16.0},
+			{Name: "TrsmRight", M: 10000, N: 64, NsPerOp: 6e6, GFLOPS: 7.0},
+			{Name: "IteCholQRCP", M: 10000, N: 64, NsPerOp: 8e7},
+			{Name: "IteCholQRCP", Stage: "Gram", M: 10000, N: 64, NsPerOp: 3e7, GFLOPS: 14.0},
+			{Name: "IteCholQRCP", Stage: "Swap", M: 10000, N: 64, NsPerOp: 5e5},
+		},
+	}
+}
+
+func TestValidateAcceptsGoodReport(t *testing.T) {
+	if errs := validate("x.json", sampleReport()); len(errs) != 0 {
+		t.Fatalf("unexpected validation errors: %v", errs)
+	}
+}
+
+func TestValidateCatchesSchemaDrift(t *testing.T) {
+	rep := sampleReport()
+	rep.Schema = "repro-metrics/0"
+	errs := validate("x.json", rep)
+	if len(errs) != 1 || !strings.Contains(errs[0], "schema") {
+		t.Fatalf("want one schema error, got %v", errs)
+	}
+}
+
+func TestValidateCatchesBadRows(t *testing.T) {
+	rep := sampleReport()
+	rep.Records = append(rep.Records,
+		record{Name: "", M: 1, N: 1, NsPerOp: 1},
+		record{Name: "Neg", M: 10, N: 5, NsPerOp: -3},
+		record{Name: "Gram", M: 10000, N: 64, NsPerOp: 5e6}, // duplicate key
+	)
+	errs := validate("x.json", rep)
+	if len(errs) != 3 {
+		t.Fatalf("want 3 errors, got %d: %v", len(errs), errs)
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	// 10% slower is inside a 25% tolerance.
+	for i := range cand.Records {
+		cand.Records[i].GFLOPS *= 0.9
+		cand.Records[i].NsPerOp *= 1.1
+	}
+	regs, compared := compare(base, cand, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+	// Gram, TrsmRight, IteCholQRCP (ns), stage Gram — the 0.5 ms Swap row
+	// is below the noise floor and must be skipped.
+	if compared != 4 {
+		t.Fatalf("want 4 compared rows, got %d", compared)
+	}
+}
+
+// TestCompareFailsOnInjectedSlowdown is the acceptance check for the CI
+// gate: a 40% throughput drop on one kernel must be reported.
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Records[0].GFLOPS = base.Records[0].GFLOPS * 0.6
+	regs, _ := compare(base, cand, 0.25)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly one regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "Gram m=10000 n=64") {
+		t.Errorf("regression message should identify the row: %q", regs[0])
+	}
+}
+
+func TestCompareFailsOnNsSlowdown(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	// The end-to-end row has no flop attribution; it gates on ns/op.
+	cand.Records[2].NsPerOp = base.Records[2].NsPerOp * 1.5
+	regs, _ := compare(base, cand, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("want one ns/op regression, got %v", regs)
+	}
+}
+
+func TestCompareIgnoresSubMillisecondNsRows(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	// Swap is 0.5 ms in the baseline: noise, never gated.
+	cand.Records[4].NsPerOp = base.Records[4].NsPerOp * 10
+	regs, _ := compare(base, cand, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("sub-ms row should be skipped, got %v", regs)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	cand.Records[0].GFLOPS = base.Records[0].GFLOPS * 0.6
+	if regs, _ := compare(base, cand, 0.5); len(regs) != 0 {
+		t.Fatalf("40%% drop inside 50%% tolerance should pass, got %v", regs)
+	}
+}
+
+func TestToleranceEnv(t *testing.T) {
+	t.Setenv("BENCH_TOLERANCE", "")
+	if tol, err := tolerance(); err != nil || tol != 0.25 {
+		t.Errorf("default tolerance = %g, %v; want 0.25", tol, err)
+	}
+	t.Setenv("BENCH_TOLERANCE", "0.4")
+	if tol, err := tolerance(); err != nil || tol != 0.4 {
+		t.Errorf("tolerance = %g, %v; want 0.4", tol, err)
+	}
+	for _, bad := range []string{"x", "-1", "0", "1", "2"} {
+		t.Setenv("BENCH_TOLERANCE", bad)
+		if _, err := tolerance(); err == nil {
+			t.Errorf("BENCH_TOLERANCE=%q should be rejected", bad)
+		}
+	}
+}
+
+func TestCompareRequiresOverlap(t *testing.T) {
+	base := sampleReport()
+	cand := &report{Schema: metrics.SchemaVersion, Records: []record{
+		{Name: "Other", M: 1, N: 1, NsPerOp: 1, GFLOPS: 1},
+	}}
+	if _, compared := compare(base, cand, 0.25); compared != 0 {
+		t.Fatalf("disjoint reports should compare 0 rows, got %d", compared)
+	}
+}

@@ -24,17 +24,34 @@ import (
 
 	"repro/bench"
 	"repro/dist"
+	"repro/internal/trace"
+	"repro/metrics"
 )
 
 func main() {
 	var (
-		system   = flag.String("system", "obcx", "machine model: obcx or bdeco")
-		fig      = flag.String("fig", "67", "67 (scaling), 8 (comm vs n), or all")
-		table    = flag.Int("table", 0, "3 prints the Table III breakdown")
-		measured = flag.Bool("measured", true, "run the real goroutine-rank measurement")
-		seed     = flag.Int64("seed", 1, "RNG seed")
+		system     = flag.String("system", "obcx", "machine model: obcx or bdeco")
+		fig        = flag.String("fig", "67", "67 (scaling), 8 (comm vs n), or all")
+		table      = flag.Int("table", 0, "3 prints the Table III breakdown")
+		measured   = flag.Bool("measured", true, "run the real goroutine-rank measurement")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		traced     = flag.Bool("trace", false, "print a stage-level trace breakdown (incl. Allreduce volume)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		rtracePath = flag.String("runtime-trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := trace.StartProfiles(*pprofAddr, *cpuProfile, *rtracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-dist:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	if *traced {
+		trace.Reset()
+		trace.Enable()
+	}
 
 	var mc dist.Machine
 	var ps, psT3 []int
@@ -83,5 +100,12 @@ func main() {
 	}
 	if *table == 3 || *fig == "all" {
 		bench.PrintTable3(os.Stdout, mc, bench.DistM, iters, psT3, []int{16, 128, 1024})
+	}
+	if *traced {
+		fmt.Println()
+		if err := metrics.WriteBreakdown(os.Stdout, trace.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-dist:", err)
+		}
+		trace.Disable()
 	}
 }

@@ -1,10 +1,14 @@
 // Command bench-kernels measures the Level-3 kernels on the Ite-CholQR-CP
 // hot path (Gram, TRSM, GEMM) plus the end-to-end factorization, and writes
-// the results as JSON for regression tracking (`make bench-json`).
+// the results as JSON for regression tracking (`make bench-json`). The JSON
+// layout is documented in bench/SCHEMA.md and gated in CI by
+// cmd/bench-check.
 //
 // Each entry records ns/op, B/op, allocs/op and GFLOP/s so both throughput
 // regressions and allocation regressions in the iteration loop are visible
-// in a single diff of BENCH_kernels.json.
+// in a single diff of BENCH_kernels.json. With -trace the end-to-end runs
+// are additionally broken down into per-stage rows (Gram, CholCP, TRSM,
+// Swap, Trmm) via internal/trace.
 package main
 
 import (
@@ -20,12 +24,19 @@ import (
 	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/mat"
+	"repro/metrics"
 	"repro/testmat"
 )
 
 type record struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Stage is set on -trace rows only: the algorithm stage this row
+	// attributes part of the parent Name's run to. Stage rows carry no
+	// allocation data and "Total" is the only row comparable to the
+	// whole-run entry.
+	Stage       string  `json:"stage,omitempty"`
 	M           int     `json:"m"`
 	N           int     `json:"n"`
 	Iters       int     `json:"iters"`
@@ -36,6 +47,7 @@ type record struct {
 }
 
 type report struct {
+	Schema     string   `json:"schema"`
 	Date       string   `json:"date"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
@@ -84,11 +96,68 @@ func upperTriangular(rng *rand.Rand, n int) *mat.Dense {
 	return r
 }
 
+// stageRows runs the end-to-end factorization under tracing and converts
+// the breakdown to per-stage benchmark rows: NsPerOp is the average
+// attributed time per factorization over reps runs, so stage rows for one
+// shape sum to ≈ the Total row.
+func stageRows(a *mat.Dense, m, n, reps int) []record {
+	trace.Reset()
+	trace.Enable()
+	for i := 0; i < reps; i++ {
+		sp := trace.Region(trace.StageTotal)
+		_, err := core.IteCholQRCP(a, core.DefaultPivotTol)
+		sp.End()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "IteCholQRCP (traced):", err)
+			os.Exit(1)
+		}
+	}
+	rep := trace.Snapshot()
+	trace.Disable()
+
+	var out []record
+	add := func(name string) {
+		st, ok := rep.Stage(name)
+		if !ok {
+			return
+		}
+		ns := float64(st.TotalNs) / float64(reps)
+		r := record{
+			Name:    "IteCholQRCP",
+			Stage:   name,
+			M:       m,
+			N:       n,
+			Iters:   reps,
+			NsPerOp: ns,
+			GFLOPS:  st.GFLOPS,
+		}
+		fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %12.0f ns/op %24s %8.2f GFLOP/s\n",
+			"IteCholQRCP/"+name, m, n, ns, "", st.GFLOPS)
+		out = append(out, r)
+	}
+	for _, s := range trace.StageRows() {
+		add(s.String())
+	}
+	add(trace.StageTotal.String())
+	return out
+}
+
 func main() {
 	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
 	quick := flag.Bool("quick", false, "skip the m=1e5 shapes (fast smoke run)")
 	e2eM := flag.Int("e2e-m", 10000, "row count for the end-to-end IteCholQRCP entries")
+	traced := flag.Bool("trace", false, "add per-stage breakdown rows for the end-to-end entries")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	rtracePath := flag.String("runtime-trace", "", "write a runtime/trace execution trace to this file")
 	flag.Parse()
+
+	stopProf, err := trace.StartProfiles(*pprofAddr, *cpuProfile, *rtracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-kernels:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	ms := []int{10000, 100000}
 	if *quick {
@@ -108,6 +177,7 @@ func main() {
 	}
 
 	rep := report{
+		Schema:     metrics.SchemaVersion,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -169,6 +239,9 @@ func main() {
 					}
 				}
 			}))
+		if *traced {
+			rep.Records = append(rep.Records, stageRows(a, m, n, 3)...)
+		}
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -20,17 +20,34 @@ import (
 	"runtime"
 
 	"repro/bench"
+	"repro/internal/trace"
+	"repro/metrics"
 )
 
 func main() {
 	var (
-		paper    = flag.Bool("paper", false, "use the paper's full sweep (slow)")
-		flops    = flag.Bool("flops", true, "also print the Fig. 5 effective-FLOPS table")
-		ablation = flag.Bool("ablation", false, "also run the ε tolerance ablation")
-		repeats  = flag.Int("repeats", 0, "runs per cell, best kept (0 = paper's 5, or 2 reduced)")
-		seed     = flag.Int64("seed", 1, "RNG seed")
+		paper      = flag.Bool("paper", false, "use the paper's full sweep (slow)")
+		flops      = flag.Bool("flops", true, "also print the Fig. 5 effective-FLOPS table")
+		ablation   = flag.Bool("ablation", false, "also run the ε tolerance ablation")
+		repeats    = flag.Int("repeats", 0, "runs per cell, best kept (0 = paper's 5, or 2 reduced)")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		traced     = flag.Bool("trace", false, "print a stage-level trace breakdown of the whole sweep")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		rtracePath = flag.String("runtime-trace", "", "write a runtime/trace execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := trace.StartProfiles(*pprofAddr, *cpuProfile, *rtracePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-single:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
+	if *traced {
+		trace.Reset()
+		trace.Enable()
+	}
 
 	ms := []int{10000, 40000}
 	nrs := []bench.NR{{N: 16, R: 13}, {N: 32, R: 26}, {N: 64, R: 51}, {N: 128, R: 102}, {N: 256, R: 205}}
@@ -57,5 +74,12 @@ func main() {
 		epss := []float64{1e-2, 1e-3, 1e-5, 1e-8, 1e-10, 0}
 		ab := bench.AblationEps(*seed, ms[0], 64, 51, bench.TimingSigma, epss)
 		bench.PrintAblationEps(os.Stdout, ab)
+	}
+	if *traced {
+		fmt.Println()
+		if err := metrics.WriteBreakdown(os.Stdout, trace.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-single:", err)
+		}
+		trace.Disable()
 	}
 }

@@ -18,15 +18,33 @@ import (
 
 	"repro/bench"
 	"repro/dist"
+	"repro/internal/trace"
+	"repro/metrics"
 )
+
+// writeTraceSection renders the stage-level breakdown accumulated over the
+// whole pipeline run (separated out so the output format is golden-tested).
+func writeTraceSection(w io.Writer, rep trace.Report) {
+	title := "stage-level trace breakdown (whole pipeline)"
+	fmt.Fprintf(w, "%s\n%s\n", title, dashes(len(title)))
+	if err := metrics.WriteBreakdown(w, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "report: %v\n", err)
+	}
+	fmt.Fprintln(w)
+}
 
 func main() {
 	var (
-		paper = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
-		out   = flag.String("o", "", "write the report to this file instead of stdout")
-		seed  = flag.Int64("seed", 1, "RNG seed")
+		paper  = flag.Bool("paper", false, "use the paper's full problem sizes (slow)")
+		out    = flag.String("o", "", "write the report to this file instead of stdout")
+		seed   = flag.Int64("seed", 1, "RNG seed")
+		traced = flag.Bool("trace", false, "append a stage-level trace breakdown of the whole run")
 	)
 	flag.Parse()
+	if *traced {
+		trace.Reset()
+		trace.Enable()
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -107,6 +125,10 @@ func main() {
 	bench.PrintComparators(w, bench.Comparators(*seed, 4*m, min(n, 32), min(r, 26), 1e-8, reps))
 	fmt.Fprintln(w)
 
+	if *traced {
+		writeTraceSection(w, trace.Snapshot())
+		trace.Disable()
+	}
 	fmt.Fprintf(w, "total runtime: %v\n", time.Since(start).Round(time.Second))
 }
 

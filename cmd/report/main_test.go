@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestWriteTraceSectionGolden(t *testing.T) {
+	rep := trace.Report{
+		Enabled: true,
+		WallNs:  10_000_000,
+		Stages: []trace.StageStats{
+			{Stage: "Gram", Count: 12, TotalNs: 4_000_000, Flops: 40_000_000, GFLOPS: 10},
+			{Stage: "CholCP", Count: 12, TotalNs: 800_000},
+			{Stage: "TRSM", Count: 12, TotalNs: 3_500_000, Flops: 21_000_000, GFLOPS: 6},
+			{Stage: "Swap", Count: 9, TotalNs: 200_000},
+			{Stage: "kernel/syrk", Kernel: true, Count: 12, TotalNs: 3_900_000, Flops: 39_000_000, GFLOPS: 10},
+		},
+		Counters: map[string]int64{"iterations": 9, "eps_exits": 6},
+	}
+	var buf bytes.Buffer
+	writeTraceSection(&buf, rep)
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "trace_section.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("trace section mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestTraceSectionParsable checks the invariants downstream scripts rely
+// on: a dashed title line, one row per stage, kernels after stages, and
+// percentages that sum to ≈ the wall clock.
+func TestTraceSectionParsable(t *testing.T) {
+	rep := trace.Report{
+		Enabled: true,
+		WallNs:  1_000_000,
+		Stages: []trace.StageStats{
+			{Stage: "Gram", Count: 1, TotalNs: 600_000},
+			{Stage: "TRSM", Count: 1, TotalNs: 400_000},
+		},
+	}
+	var buf bytes.Buffer
+	writeTraceSection(&buf, rep)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("want title, dashes, header, 2 rows; got %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("line 2 should underline the title, got %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "stage") || !strings.Contains(lines[2], "%wall") {
+		t.Errorf("header line missing columns: %q", lines[2])
+	}
+	var gram, trsm bool
+	for _, l := range lines[3:] {
+		fields := strings.Fields(l)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "Gram":
+			gram = strings.Contains(l, "60.0%")
+		case "TRSM":
+			trsm = strings.Contains(l, "40.0%")
+		}
+	}
+	if !gram || !trsm {
+		t.Errorf("stage rows with expected %%wall not found:\n%s", buf.String())
+	}
+}
+
+func TestDashes(t *testing.T) {
+	if d := dashes(4); d != "----" {
+		t.Errorf("dashes(4) = %q", d)
+	}
+	if d := dashes(0); d != "" {
+		t.Errorf("dashes(0) = %q", d)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/core"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -25,7 +26,7 @@ func gramAllreduce(comm Comm) core.GramFunc {
 	return func(dst, a *mat.Dense) {
 		blas.Gram(dst, a)
 		if dst.Stride == dst.Cols {
-			comm.AllreduceSum(dst.Data[:dst.Rows*dst.Cols])
+			allreduceTraced(comm, dst.Data[:dst.Rows*dst.Cols])
 			return
 		}
 		// Strided destination: pack, reduce, unpack.
@@ -33,11 +34,22 @@ func gramAllreduce(comm Comm) core.GramFunc {
 		for i := 0; i < dst.Rows; i++ {
 			copy(buf[i*dst.Cols:(i+1)*dst.Cols], dst.Data[i*dst.Stride:i*dst.Stride+dst.Cols])
 		}
-		comm.AllreduceSum(buf)
+		allreduceTraced(comm, buf)
 		for i := 0; i < dst.Rows; i++ {
 			copy(dst.Data[i*dst.Stride:i*dst.Stride+dst.Cols], buf[i*dst.Cols:(i+1)*dst.Cols])
 		}
 	}
+}
+
+// allreduceTraced forwards to comm.AllreduceSum under the StageAllreduce
+// span, attributing the collective's wall time (including wait) and
+// payload to the breakdown. Per-rank Stats stay on InstrumentedComm; this
+// is the process-global view the trace reports aggregate.
+func allreduceTraced(comm Comm, buf []float64) {
+	sp := trace.Region(trace.StageAllreduce)
+	comm.AllreduceSum(buf)
+	sp.End()
+	trace.AddBytes(trace.StageAllreduce, int64(8*len(buf)))
 }
 
 // CholQR computes the distributed thin QR factorization of the matrix

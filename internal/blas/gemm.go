@@ -2,6 +2,7 @@ package blas
 
 import (
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -39,6 +40,9 @@ func Gemm(tA, tB Transpose, alpha float64, a, b *mat.Dense, beta float64, c *mat
 	if alpha == 0 || k == 0 {
 		return
 	}
+	sp := trace.Region(trace.KernelGemm)
+	defer sp.End()
+	trace.AddFlops(trace.KernelGemm, 2*int64(m)*int64(n)*int64(k))
 	switch {
 	case tA == NoTrans && tB == NoTrans:
 		gemmNN(alpha, a, b, c)

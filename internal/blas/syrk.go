@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -33,6 +34,9 @@ func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	if alpha == 0 || a.Rows == 0 || n == 0 {
 		return
 	}
+	sp := trace.Region(trace.KernelSyrk)
+	defer sp.End()
+	trace.AddFlops(trace.KernelSyrk, int64(a.Rows)*int64(n)*int64(n+1))
 	w := parallel.MaxWorkers()
 	flops := mulFlops(a.Rows, n, n) // ≈ m·n²
 	if flops < gemmParallelFlops || w == 1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -27,6 +28,9 @@ func TrsmRightUpperNoTrans(b, r *mat.Dense) {
 			panic(fmt.Sprintf("blas: TrsmRightUpperNoTrans singular R at diagonal %d", k))
 		}
 	}
+	sp := trace.Region(trace.KernelTrsm)
+	defer sp.End()
+	trace.AddFlops(trace.KernelTrsm, int64(b.Rows)*int64(n)*int64(n))
 	if mulFlops(b.Rows, n, n) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
 		trsmRightRange(b, r, 0, b.Rows)
 		return
@@ -87,6 +91,9 @@ func trsmRightRange(b, r *mat.Dense, lo, hi int) {
 func TrsmLeftUpperTrans(r, b *mat.Dense) {
 	n := b.Rows
 	checkTriangular(r, n, "TrsmLeftUpperTrans")
+	sp := trace.Region(trace.KernelTrsm)
+	defer sp.End()
+	trace.AddFlops(trace.KernelTrsm, int64(n)*int64(n)*int64(b.Cols))
 	for i := 0; i < n; i++ {
 		d := r.Data[i*r.Stride+i]
 		if d == 0 {
@@ -115,6 +122,9 @@ func TrsmLeftUpperTrans(r, b *mat.Dense) {
 func TrsmLeftUpperNoTrans(r, b *mat.Dense) {
 	n := b.Rows
 	checkTriangular(r, n, "TrsmLeftUpperNoTrans")
+	sp := trace.Region(trace.KernelTrsm)
+	defer sp.End()
+	trace.AddFlops(trace.KernelTrsm, int64(n)*int64(n)*int64(b.Cols))
 	for i := n - 1; i >= 0; i-- {
 		d := r.Data[i*r.Stride+i]
 		if d == 0 {
@@ -146,6 +156,9 @@ func TrsmLeftUpperNoTrans(r, b *mat.Dense) {
 func TrmmLeftUpperNoTrans(a, b *mat.Dense) {
 	n := b.Rows
 	checkTriangular(a, n, "TrmmLeftUpperNoTrans")
+	sp := trace.Region(trace.KernelTrmm)
+	defer sp.End()
+	trace.AddFlops(trace.KernelTrmm, int64(n)*int64(n)*int64(b.Cols))
 	for i := 0; i < n; i++ {
 		arow := a.Data[i*a.Stride : i*a.Stride+a.Cols]
 		bi := b.Data[i*b.Stride : i*b.Stride+b.Cols]

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -55,6 +56,8 @@ func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
 	if maxPiv > n {
 		maxPiv = n
 	}
+	sp := trace.Region(trace.KernelPCholCP)
+	defer sp.End()
 	work := w.Clone()
 	r := mat.NewDense(n, n)
 	perm := mat.IdentityPerm(n)
@@ -75,9 +78,11 @@ func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
 		}
 		if wpp <= 0 || math.IsNaN(wpp) {
 			res.Breakdown = true
+			trace.Inc(trace.CtrBreakdowns)
 			break
 		}
 		if k > 0 && wpp < w11*eps*eps {
+			trace.Inc(trace.CtrEpsExits)
 			break
 		}
 		if p != k {
@@ -111,6 +116,8 @@ func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
 	for k := res.NPiv; k < n; k++ {
 		r.Set(k, k, 1)
 	}
+	trace.Add(trace.CtrPivotsFixed, int64(res.NPiv))
+	trace.AddFlops(trace.KernelPCholCP, int64(res.NPiv)*int64(n)*int64(n)/3)
 	return res
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -65,12 +66,21 @@ func cholQRInPlace(a *mat.Dense) (*mat.Dense, error) {
 func CholQRInPlaceGram(a *mat.Dense, gram GramFunc) (*mat.Dense, error) {
 	n := a.Cols
 	w := mat.NewDense(n, n)
+	sg := trace.Region(trace.StageGram)
 	gram(w, a)
-	if err := lapack.PotrfUpper(w); err != nil {
+	sg.End()
+	trace.AddFlops(trace.StageGram, 2*int64(a.Rows)*int64(n)*int64(n))
+	sc := trace.Region(trace.StageCholCP)
+	err := lapack.PotrfUpper(w)
+	sc.End()
+	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
 	}
 	lapack.ZeroLower(w)
+	st := trace.Region(trace.StageTrsm)
 	blas.TrsmRightUpperNoTrans(a, w)
+	st.End()
+	trace.AddFlops(trace.StageTrsm, int64(a.Rows)*int64(n)*int64(n))
 	return w, nil
 }
 

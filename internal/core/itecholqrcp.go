@@ -7,6 +7,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/cholcp"
 	"repro/internal/lapack"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -87,7 +88,7 @@ func IteCholQRCPTraced(a *mat.Dense, eps float64, trace IterTrace) (*CPResult, e
 	return iteCholQRCP(a, eps, DefaultMaxIterations, trace, blas.Gram)
 }
 
-func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, trace IterTrace, gram GramFunc) (*CPResult, error) {
+func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram GramFunc) (*CPResult, error) {
 	m, n := a.Rows, a.Cols
 	if eps < 0 || eps >= 1 {
 		panic(fmt.Sprintf("core: IteCholQRCP tolerance %g outside [0,1)", eps))
@@ -104,15 +105,23 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, trace IterTrace, gram G
 		if iter >= maxIter {
 			return nil, ErrStall
 		}
+		trace.Inc(trace.CtrIterations)
 		// Line 3: W := AᵀA.
+		sg := trace.Region(trace.StageGram)
 		gram(w, aw)
+		sg.End()
+		trace.AddFlops(trace.StageGram, 2*int64(m)*int64(n)*int64(n))
 
+		// Lines 4–7: all the Cholesky work on the Gram matrix — the fixed
+		// block factor/eliminate plus P-Chol-CP on the Schur complement.
+		sc := trace.Region(trace.StageCholCP)
 		rp.Zero()
 		if k > 0 {
 			// Lines 4–6: factor the fixed block and eliminate coupling.
 			r11 := rp.Slice(0, k, 0, k)
 			r11.Copy(w.Slice(0, k, 0, k))
 			if err := lapack.PotrfUpper(r11); err != nil {
+				sc.End()
 				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
 			}
 			lapack.ZeroLower(r11)
@@ -126,29 +135,37 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, trace IterTrace, gram G
 
 		// Line 7: P-Chol-CP on the trailing Schur complement.
 		pres := cholcp.PCholCP(w.Slice(k, n, k, n), eps)
+		sc.End()
 		kNew := pres.NPiv
 		if kNew == 0 {
 			return nil, ErrStall
 		}
-		// Line 8: permute the trailing columns of A.
+		// Lines 8–9: permute the trailing columns of A and the coupling
+		// block of R′ consistently — the breakdown's "column swaps".
+		ss := trace.Region(trace.StageSwap)
 		mat.PermuteColsInPlace(aw.Slice(0, m, k, n), pres.Perm)
 		if k > 0 {
-			// Line 9: permute the coupling block of R′ consistently.
 			mat.PermuteColsInPlace(rp.Slice(0, k, k, n), pres.Perm)
 		}
+		ss.End()
 		// Line 10: assemble R′ = [R₁₁ R₁₂; 0 R₂₂].
 		rp.Slice(k, n, k, n).Copy(pres.R)
 
 		// Line 11: A := A·R′⁻¹.
+		st := trace.Region(trace.StageTrsm)
 		blas.TrsmRightUpperNoTrans(aw, rp)
+		st.End()
+		trace.AddFlops(trace.StageTrsm, int64(m)*int64(n)*int64(n))
 
 		// Line 12 with the conjugation of Eq. (14): the accumulated R's
 		// trailing columns are permuted by P′ (its trailing identity block
 		// is invariant), then R := R′·R.
+		sm := trace.Region(trace.StageTrmm)
 		if k > 0 {
 			mat.PermuteColsInPlace(rTotal.Slice(0, k, k, n), pres.Perm)
 		}
 		blas.TrmmLeftUpperNoTrans(rp, rTotal)
+		sm.End()
 
 		// Lines 13–14: accumulate the permutation P := P·P″.
 		for j := 0; j < kNew; j++ {
@@ -159,17 +176,20 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, trace IterTrace, gram G
 		k += kNew
 		res.Iterations = iter + 1
 		res.PivotCounts = append(res.PivotCounts, kNew)
-		if trace != nil {
-			trace(iter, kNew, perm.Clone())
+		if iterCB != nil {
+			iterCB(iter, kNew, perm.Clone())
 		}
 	}
 
-	// Line 17: reorthogonalization by one plain CholQR pass.
+	// Line 17: reorthogonalization by one plain CholQR pass (its Gram,
+	// Cholesky, and TRSM phases are attributed inside CholQRInPlaceGram).
 	rre, err := CholQRInPlaceGram(aw, gram)
 	if err != nil {
 		return nil, err
 	}
+	sm := trace.Region(trace.StageTrmm)
 	blas.TrmmLeftUpperNoTrans(rre, rTotal) // R := R_reortho·R
+	sm.End()
 	res.Q = aw
 	res.R = rTotal
 	res.Perm = perm

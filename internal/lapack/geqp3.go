@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -46,6 +47,11 @@ func Geqp3Partial(a *mat.Dense, tau []float64, jpvt mat.Perm, maxK int) {
 	if len(jpvt) != n {
 		panic(fmt.Sprintf("lapack: Geqp3 jpvt length %d != %d", len(jpvt), n))
 	}
+	sp := trace.Region(trace.KernelGeqp3)
+	defer sp.End()
+	// QRCP flop count for k factored columns: 4mnk − 2(m+n)k² + (4/3)k³.
+	trace.AddFlops(trace.KernelGeqp3,
+		4*int64(m)*int64(n)*int64(k)-2*int64(m+n)*int64(k)*int64(k)+4*int64(k)*int64(k)*int64(k)/3)
 	for j := range jpvt {
 		jpvt[j] = j
 	}

@@ -3,6 +3,7 @@ package lapack
 import (
 	"fmt"
 
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -20,6 +21,11 @@ func Geqrf(a *mat.Dense, tau []float64) {
 	if len(tau) < k {
 		panic(fmt.Sprintf("lapack: Geqrf tau length %d < %d", len(tau), k))
 	}
+	sp := trace.Region(trace.KernelGeqrf)
+	defer sp.End()
+	// 2mnk − (m+n)k² + (2/3)k³ flops of the Householder QR (k = min(m,n)).
+	trace.AddFlops(trace.KernelGeqrf,
+		2*int64(m)*int64(n)*int64(k)-int64(m+n)*int64(k)*int64(k)+2*int64(k)*int64(k)*int64(k)/3)
 	colBuf := mat.GetFloats(m, false)
 	work := mat.GetFloats(n, false)
 	defer mat.PutFloats(colBuf)

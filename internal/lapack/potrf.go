@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -23,6 +24,9 @@ func PotrfUpper(a *mat.Dense) error {
 		panic(fmt.Sprintf("lapack: PotrfUpper on %d×%d", a.Rows, a.Cols))
 	}
 	n := a.Rows
+	sp := trace.Region(trace.KernelPotrf)
+	defer sp.End()
+	trace.AddFlops(trace.KernelPotrf, int64(n)*int64(n)*int64(n)/3)
 	for k := 0; k < n; k += potrfBlock {
 		kb := min(potrfBlock, n-k)
 		akk := a.Slice(k, k+kb, k, k+kb)

@@ -16,6 +16,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // maxWorkers caps the parallel width of any single region. It defaults to
@@ -133,15 +136,41 @@ func For(n, minChunk int, body func(lo, hi int)) {
 			break
 		}
 		wg.Add(1)
+		trace.Inc(trace.CtrWorkerDispatches)
 		wk.ch <- task{body: body, lo: lo, hi: hi, wg: wg}
 		lo = hi
 	}
-	body(0, hi0)
+	runInline(body, 0, hi0)
 	if inlineLo < n {
-		body(inlineLo, n)
+		runInline(body, inlineLo, n)
 	}
 	wg.Wait()
 	wgPool.Put(wg)
+}
+
+// runInline executes one chunk on the calling goroutine, attributing its
+// busy time to utilization slot 0 when tracing is enabled.
+func runInline(body func(lo, hi int), lo, hi int) {
+	if trace.Enabled() {
+		start := time.Now()
+		body(lo, hi)
+		trace.AddWorkerBusy(0, int64(time.Since(start)))
+		trace.Inc(trace.CtrWorkerInline)
+		return
+	}
+	body(lo, hi)
+}
+
+// runInlineTask is runInline for a no-argument task (the Do path).
+func runInlineTask(fn func()) {
+	if trace.Enabled() {
+		start := time.Now()
+		fn()
+		trace.AddWorkerBusy(0, int64(time.Since(start)))
+		trace.Inc(trace.CtrWorkerInline)
+		return
+	}
+	fn()
 }
 
 // Do runs each task concurrently and waits for all of them. Every task is
@@ -161,6 +190,7 @@ func Do(tasks ...func()) {
 	wg.Add(len(tasks) - 1)
 	for _, t := range tasks[1:] {
 		if wk := acquire(); wk != nil {
+			trace.Inc(trace.CtrWorkerDispatches)
 			wk.ch <- task{fn: t, wg: wg}
 			continue
 		}
@@ -169,7 +199,7 @@ func Do(tasks ...func()) {
 			f()
 		}(t)
 	}
-	tasks[0]()
+	runInlineTask(tasks[0])
 	wg.Wait()
 	wgPool.Put(wg)
 }

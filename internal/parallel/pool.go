@@ -1,6 +1,11 @@
 package parallel
 
-import "sync"
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
 
 // The persistent worker pool. Parallel regions used to spawn fresh
 // goroutines per call; with one region per Level-3 kernel invocation and
@@ -25,11 +30,22 @@ type task struct {
 	wg     *sync.WaitGroup
 }
 
+// run executes the task body.
+func (t task) run() {
+	if t.fn != nil {
+		t.fn()
+	} else {
+		t.body(t.lo, t.hi)
+	}
+}
+
 // worker is a long-lived pool goroutine. Its channel has capacity 1 so
 // dispatch never blocks the sender: the worker is idle by the free-list
-// invariant and drains the slot immediately.
+// invariant and drains the slot immediately. id (1-based; 0 is the
+// calling goroutine of a region) keys the per-worker utilization table.
 type worker struct {
 	ch chan task
+	id int
 }
 
 var pool struct {
@@ -54,8 +70,9 @@ func acquire() *worker {
 	}
 	if pool.spawned < limit {
 		pool.spawned++
+		id := pool.spawned
 		pool.mu.Unlock()
-		w := &worker{ch: make(chan task, 1)}
+		w := &worker{ch: make(chan task, 1), id: id}
 		go w.loop()
 		return w
 	}
@@ -79,10 +96,12 @@ func (w *worker) release() bool {
 
 func (w *worker) loop() {
 	for t := range w.ch {
-		if t.fn != nil {
-			t.fn()
+		if trace.Enabled() {
+			start := time.Now()
+			t.run()
+			trace.AddWorkerBusy(w.id, int64(time.Since(start)))
 		} else {
-			t.body(t.lo, t.hi)
+			t.run()
 		}
 		t.wg.Done()
 		if !w.release() {

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRegionIsNoop(t *testing.T) {
+	Disable()
+	Reset()
+	sp := Region(StageGram)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	AddFlops(StageGram, 100)
+	Inc(CtrIterations)
+	AddWorkerBusy(3, 1000)
+	rep := Snapshot()
+	if len(rep.Stages) != 0 || len(rep.Counters) != 0 || len(rep.Workers) != 0 {
+		t.Fatalf("disabled tracing accumulated data: %+v", rep)
+	}
+}
+
+func TestDisabledPathAllocFree(t *testing.T) {
+	Disable()
+	Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := Region(KernelGemm)
+		AddFlops(KernelGemm, 12345)
+		Inc(CtrWorkerDispatches)
+		sp.End()
+	})
+	if allocs > 0 {
+		t.Fatalf("disabled Region/End allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEnabledAccumulates(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	sp := Region(StageGram)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	AddFlops(StageGram, 1e6)
+	AddBytes(StageAllreduce, 4096)
+	Inc(CtrIterations)
+	Add(CtrPivotsFixed, 7)
+	AddWorkerBusy(0, 500)
+	AddWorkerBusy(1, 1500)
+
+	rep := Snapshot()
+	g, ok := rep.Stage("Gram")
+	if !ok {
+		t.Fatal("no Gram row in snapshot")
+	}
+	if g.Count != 1 || g.TotalNs < int64(time.Millisecond) || g.Flops != 1e6 {
+		t.Fatalf("Gram row %+v", g)
+	}
+	if g.GFLOPS <= 0 {
+		t.Fatalf("Gram GFLOPS %v, want > 0", g.GFLOPS)
+	}
+	if ar, ok := rep.Stage("Allreduce"); !ok || ar.Bytes != 4096 {
+		t.Fatalf("Allreduce row %+v ok=%v", ar, ok)
+	}
+	if rep.Counters["iterations"] != 1 || rep.Counters["pivots_fixed"] != 7 {
+		t.Fatalf("counters %v", rep.Counters)
+	}
+	if len(rep.Workers) != 2 || rep.Workers[0].Worker != 0 || rep.Workers[1].BusyNs != 1500 {
+		t.Fatalf("workers %+v", rep.Workers)
+	}
+	if rep.WallNs <= 0 {
+		t.Fatalf("wall %d, want > 0", rep.WallNs)
+	}
+	if rep.Workers[1].Utilization <= 0 || rep.Workers[1].Utilization > 1 {
+		t.Fatalf("utilization %v", rep.Workers[1].Utilization)
+	}
+
+	Reset()
+	if rep := Snapshot(); len(rep.Stages) != 0 {
+		t.Fatalf("Reset left stages %+v", rep.Stages)
+	}
+}
+
+func TestWorkerBusyClamps(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	AddWorkerBusy(-5, 10)
+	AddWorkerBusy(MaxTrackedWorkers+100, 20)
+	rep := Snapshot()
+	if len(rep.Workers) != 2 {
+		t.Fatalf("workers %+v", rep.Workers)
+	}
+	if rep.Workers[0].Worker != 0 || rep.Workers[0].BusyNs != 10 {
+		t.Fatalf("negative id not clamped to 0: %+v", rep.Workers[0])
+	}
+	if rep.Workers[1].Worker != MaxTrackedWorkers-1 || rep.Workers[1].BusyNs != 20 {
+		t.Fatalf("overflow id not clamped: %+v", rep.Workers[1])
+	}
+}
+
+// TestConcurrentSpans exercises the accumulators from many goroutines;
+// run under -race this is the goroutine-safety guarantee of the package.
+func TestConcurrentSpans(t *testing.T) {
+	Reset()
+	Enable()
+	defer Disable()
+	const G, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sp := Region(KernelGemm)
+				AddFlops(KernelGemm, 2)
+				sp.End()
+				Inc(CtrWorkerDispatches)
+				AddWorkerBusy(id, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := Snapshot()
+	k, ok := rep.Stage("kernel/gemm")
+	if !ok || k.Count != G*per || k.Flops != 2*G*per {
+		t.Fatalf("kernel/gemm row %+v ok=%v", k, ok)
+	}
+	if !k.Kernel {
+		t.Fatal("kernel/gemm not marked as kernel row")
+	}
+	if rep.Counters["worker_dispatches"] != G*per {
+		t.Fatalf("dispatch counter %d", rep.Counters["worker_dispatches"])
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	for s := Stage(0); s < numStages; s++ {
+		if s.String() == "unknown" || s.String() == "" {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if c.String() == "unknown" || c.String() == "" {
+			t.Fatalf("counter %d has no name", c)
+		}
+	}
+	if Stage(200).String() != "unknown" || Counter(200).String() != "unknown" {
+		t.Fatal("out-of-range ids should stringify to unknown")
+	}
+	for _, s := range StageRows() {
+		if s.IsKernel() {
+			t.Fatalf("StageRows contains kernel row %v", s)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	Reset()
+	Enable()
+	sp := Region(StageTrsm)
+	sp.End()
+	Inc(CtrEpsExits)
+	Disable()
+	buf, err := json.Marshal(Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Stage("TRSM"); !ok {
+		t.Fatalf("round-tripped report lost TRSM row: %s", buf)
+	}
+}

@@ -12,6 +12,8 @@ package mat
 import (
 	"math/bits"
 	"sync"
+
+	"repro/internal/trace"
 )
 
 const maxPoolClass = 63
@@ -42,6 +44,7 @@ func GetWorkspace(r, c int, clear bool) *Dense {
 		return &Dense{Rows: r, Cols: c, Stride: c}
 	}
 	k := classFor(size)
+	trace.Inc(trace.CtrWorkspaceGets)
 	if v := densePools[k].Get(); v != nil {
 		d := v.(*Dense)
 		d.Rows, d.Cols, d.Stride = r, c, c
@@ -53,6 +56,7 @@ func GetWorkspace(r, c int, clear bool) *Dense {
 		}
 		return d
 	}
+	trace.Inc(trace.CtrWorkspaceMisses)
 	return &Dense{Rows: r, Cols: c, Stride: c, Data: make([]float64, size, 1<<k)}
 }
 
@@ -81,6 +85,7 @@ func GetFloats(n int, clear bool) []float64 {
 		return nil
 	}
 	k := classFor(n)
+	trace.Inc(trace.CtrWorkspaceGets)
 	if v := slicePools[k].Get(); v != nil {
 		s := (*v.(*[]float64))[:n]
 		if clear {
@@ -90,6 +95,7 @@ func GetFloats(n int, clear bool) []float64 {
 		}
 		return s
 	}
+	trace.Inc(trace.CtrWorkspaceMisses)
 	return make([]float64, n, 1<<k)
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -105,6 +106,8 @@ func (f *Factorization) Rank(tol float64) int {
 // not modified. Accuracy matches Householder QRCP (including the pivot
 // sequence) for condition numbers up to ~10¹⁶.
 func QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
+	sp := trace.Region(trace.StageTotal)
+	defer sp.End()
 	var res *core.CPResult
 	var err error
 	withWorkers(opts, func() {
@@ -122,6 +125,8 @@ func QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
 // but roughly half its flops are Level-2 and it does not scale on
 // distributed systems.
 func HouseholderQRCP(a *mat.Dense, opts *Options) *Factorization {
+	sp := trace.Region(trace.StageTotal)
+	defer sp.End()
 	var res *core.CPResult
 	withWorkers(opts, func() {
 		res = core.HQRCP(a)
@@ -147,6 +152,8 @@ type TruncatedFactorization struct {
 // trailing columns entirely, the structural advantage over "QR first,
 // then pivot R" approaches that the paper points out in §V.
 func QRCPTruncated(a *mat.Dense, k int, opts *Options) (*TruncatedFactorization, error) {
+	sp := trace.Region(trace.StageTotal)
+	defer sp.End()
 	var res *core.PartialResult
 	var err error
 	withWorkers(opts, func() {
