@@ -31,7 +31,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -timeout 10m ./internal/... ./mat/ ./dist/
+	$(GO) test -race -timeout 10m . ./internal/... ./mat/ ./dist/
 
 # One benchmark per paper figure/table plus the ablations.
 bench:

@@ -28,19 +28,19 @@ type ComparatorRow struct {
 func Comparators(seed int64, m, n, r int, sigma float64, repeats int) []ComparatorRow {
 	rng := rand.New(rand.NewSource(seed))
 	a := testmat.Generate(rng, m, n, r, sigma)
-	ref := core.HQRCP(a)
+	ref := core.HQRCP(nil, a)
 
 	type entry struct {
 		name string
 		run  func() (*core.CPResult, error)
 	}
 	entries := []entry{
-		{"Ite-CholQR-CP", func() (*core.CPResult, error) { return core.IteCholQRCP(a, core.DefaultPivotTol) }},
-		{"HQR-CP", func() (*core.CPResult, error) { return core.HQRCP(a), nil }},
-		{"QR+QRCP(TSQR)", func() (*core.CPResult, error) { return core.QRThenQRCP(a, core.InnerTSQR) }},
-		{"QR+QRCP(sChQR3)", func() (*core.CPResult, error) { return core.QRThenQRCP(a, core.InnerShiftedCholQR3) }},
+		{"Ite-CholQR-CP", func() (*core.CPResult, error) { return core.IteCholQRCP(nil, a, core.DefaultPivotTol) }},
+		{"HQR-CP", func() (*core.CPResult, error) { return core.HQRCP(nil, a), nil }},
+		{"QR+QRCP(TSQR)", func() (*core.CPResult, error) { return core.QRThenQRCP(nil, a, core.InnerTSQR) }},
+		{"QR+QRCP(sChQR3)", func() (*core.CPResult, error) { return core.QRThenQRCP(nil, a, core.InnerShiftedCholQR3) }},
 		{"RandQRCP", func() (*core.CPResult, error) {
-			return core.RandQRCP(a, rand.New(rand.NewSource(seed+1)), core.InnerHouseholder)
+			return core.RandQRCP(nil, a, rand.New(rand.NewSource(seed+1)), core.InnerHouseholder)
 		}},
 	}
 	var rows []ComparatorRow

@@ -29,10 +29,10 @@ type PivotRecord struct {
 // single matrix; called in a sweep for Fig. 1(b,c)).
 func CholCPPivotExperiment(a *mat.Dense) []PivotRecord {
 	n := a.Cols
-	ref := core.HQRCPNoQ(a)
+	ref := core.HQRCPNoQ(nil, a)
 	w := mat.NewDense(n, n)
-	blas.Gram(w, a)
-	res := cholcp.CholCP(w)
+	blas.Gram(nil, w, a)
+	res := cholcp.CholCP(nil, w)
 	out := metrics.ClassifyPivots(res.Perm, ref.Perm, res.NPiv, n)
 	r11 := math.Abs(ref.R.At(0, 0))
 	recs := make([]PivotRecord, n)

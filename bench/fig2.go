@@ -35,14 +35,14 @@ func Fig2(seed int64, m, n, r int, sigmas []float64) []MethodAccuracy {
 	var rows []MethodAccuracy
 	for _, sigma := range sigmas {
 		a := generate(rng, m, n, r, sigma)
-		ref := core.HQRCP(a)
+		ref := core.HQRCP(nil, a)
 		rows = append(rows, accuracyRow(sigma, "HQR-CP", a, ref, r, false))
-		if res, err := core.IteCholQRCP(a, 1e-5); err == nil {
+		if res, err := core.IteCholQRCP(nil, a, 1e-5); err == nil {
 			rows = append(rows, accuracyRow(sigma, "Ite-CholQR-CP(1e-5)", a, res, r, false))
 		} else {
 			rows = append(rows, MethodAccuracy{Sigma: sigma, Method: "Ite-CholQR-CP(1e-5)", Failed: true})
 		}
-		if res, err := core.IteCholQRCP(a, 0); err == nil {
+		if res, err := core.IteCholQRCP(nil, a, 0); err == nil {
 			rows = append(rows, accuracyRow(sigma, "Ite-CholQR-CP(0)", a, res, r, false))
 		} else {
 			rows = append(rows, MethodAccuracy{Sigma: sigma, Method: "Ite-CholQR-CP(0)", Failed: true})
@@ -98,8 +98,8 @@ func Fig3(seed int64, m, n, r int, sigmas []float64, eps float64) []Fig3Row {
 	var rows []Fig3Row
 	for _, sigma := range sigmas {
 		a := generate(rng, m, n, r, sigma)
-		ref := core.HQRCPNoQ(a)
-		res, err := core.IteCholQRCP(a, eps)
+		ref := core.HQRCPNoQ(nil, a)
+		res, err := core.IteCholQRCP(nil, a, eps)
 		if err != nil {
 			rows = append(rows, Fig3Row{Sigma: sigma, Eps: eps, Failed: true})
 			continue

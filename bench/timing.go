@@ -45,14 +45,14 @@ func timeOneShape(seed int64, m int, nr NR, sigma float64, repeats int) TimingRo
 	a := testmat.Generate(rng, m, nr.N, nr.R, sigma)
 	var iters int
 	tIte := bestOf(repeats, func() {
-		res, err := core.IteCholQRCP(a, core.DefaultPivotTol)
+		res, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol)
 		if err != nil {
 			panic(fmt.Sprintf("bench: Ite-CholQR-CP failed on m=%d n=%d: %v", m, nr.N, err))
 		}
 		iters = res.Iterations
 	})
 	tHQR := bestOf(repeats, func() {
-		core.HQRCP(a)
+		core.HQRCP(nil, a)
 	})
 	return TimingRow{
 		M: m, N: nr.N, R: nr.R,
@@ -99,11 +99,11 @@ type AblationEpsRow struct {
 func AblationEps(seed int64, m, n, r int, sigma float64, epss []float64) []AblationEpsRow {
 	rng := rand.New(rand.NewSource(seed))
 	a := testmat.Generate(rng, m, n, r, sigma)
-	ref := core.HQRCPNoQ(a)
+	ref := core.HQRCPNoQ(nil, a)
 	var rows []AblationEpsRow
 	for _, eps := range epss {
 		start := time.Now()
-		res, err := core.IteCholQRCP(a, eps)
+		res, err := core.IteCholQRCP(nil, a, eps)
 		elapsed := time.Since(start)
 		if err != nil {
 			rows = append(rows, AblationEpsRow{Eps: eps, Failed: true, Time: elapsed})

@@ -93,7 +93,7 @@ func BenchmarkFig4SingleNode(b *testing.B) {
 		a := benchMatrix(sh.m, sh.n, sh.r, 1e-12)
 		b.Run(fmt.Sprintf("IteCholQRCP/m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+				if _, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -101,7 +101,7 @@ func BenchmarkFig4SingleNode(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("HQRCP/m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				core.HQRCP(a)
+				core.HQRCP(nil, a)
 			}
 			b.ReportMetric(bench.Flops(sh.m, sh.n, b.Elapsed()/time.Duration(safeN(b.N)))/1e9, "effGFLOPS")
 		})
@@ -119,7 +119,7 @@ func BenchmarkIteCholQRCP(b *testing.B) {
 		b.Run(fmt.Sprintf("m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+				if _, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -144,7 +144,7 @@ func BenchmarkFig5Flops(b *testing.B) {
 	w := mat.NewDense(n, n)
 	b.Run("Level3Gram", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			blas.Gram(w, a)
+			blas.Gram(nil, w, a)
 		}
 		flops := 2 * float64(m) * float64(n) * float64(n)
 		b.ReportMetric(flops/(b.Elapsed().Seconds()/float64(safeN(b.N)))/1e9, "GFLOPS")
@@ -156,7 +156,7 @@ func BenchmarkFig5Flops(b *testing.B) {
 			x[i] = 1
 		}
 		for i := 0; i < b.N; i++ {
-			blas.Gemv(blas.Trans, 1, a, x, 0, y)
+			blas.Gemv(nil, blas.Trans, 1, a, x, 0, y)
 		}
 		flops := 2 * float64(m) * float64(n)
 		b.ReportMetric(flops/(b.Elapsed().Seconds()/float64(safeN(b.N)))/1e9, "GFLOPS")
@@ -245,7 +245,7 @@ func BenchmarkAblationEps(b *testing.B) {
 	for _, eps := range []float64{1e-2, 1e-5, 1e-8} {
 		b.Run(fmt.Sprintf("eps=%g", eps), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.IteCholQRCP(a, eps); err != nil {
+				if _, err := core.IteCholQRCP(nil, a, eps); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -260,12 +260,12 @@ func BenchmarkAblationHQRCPBlocking(b *testing.B) {
 	a := benchMatrix(8000, 64, 51, 1e-12)
 	b.Run("Geqp3", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.HQRCP(a)
+			core.HQRCP(nil, a)
 		}
 	})
 	b.Run("Geqpf", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.HQRCPUnblocked(a)
+			core.HQRCPUnblocked(nil, a)
 		}
 	})
 }
@@ -276,21 +276,21 @@ func BenchmarkAblationTruncated(b *testing.B) {
 	a := benchMatrix(10000, 64, 51, 1e-12)
 	b.Run("Full", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+			if _, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Rank8", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.IteCholQRCPPartial(a, core.DefaultPivotTol, 8); err != nil {
+			if _, err := core.IteCholQRCPPartial(nil, a, core.DefaultPivotTol, 8); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Rank8-HQRCP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.HQRCPTruncated(a, 8)
+			core.HQRCPTruncated(nil, a, 8)
 		}
 	})
 }
@@ -302,33 +302,33 @@ func BenchmarkComparatorQRCP(b *testing.B) {
 	rng := rand.New(rand.NewSource(99))
 	b.Run("IteCholQRCP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+			if _, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("HQRCP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.HQRCP(a)
+			core.HQRCP(nil, a)
 		}
 	})
 	b.Run("QRThenQRCP-TSQR", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.QRThenQRCP(a, core.InnerTSQR); err != nil {
+			if _, err := core.QRThenQRCP(nil, a, core.InnerTSQR); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("QRThenQRCP-ShiftedCholQR3", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.QRThenQRCP(a, core.InnerShiftedCholQR3); err != nil {
+			if _, err := core.QRThenQRCP(nil, a, core.InnerShiftedCholQR3); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("RandQRCP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.RandQRCP(a, rng, core.InnerHouseholder); err != nil {
+			if _, err := core.RandQRCP(nil, a, rng, core.InnerHouseholder); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -345,14 +345,14 @@ func BenchmarkComparatorUnpivotedQR(b *testing.B) {
 		run  func() error
 	}
 	entries := []entry{
-		{"CholQR", func() error { _, err := core.CholQR(a); return err }},
-		{"CholeskyQR2", func() error { _, err := core.CholQR2(a); return err }},
-		{"ShiftedCholQR3", func() error { _, err := core.ShiftedCholQR3(a); return err }},
-		{"TSQR", func() error { core.TSQR(a); return nil }},
-		{"HouseholderQR", func() error { core.HouseholderQR(a); return nil }},
-		{"LUCholQR2", func() error { _, err := core.LUCholQR2(a); return err }},
+		{"CholQR", func() error { _, err := core.CholQR(nil, a); return err }},
+		{"CholeskyQR2", func() error { _, err := core.CholQR2(nil, a); return err }},
+		{"ShiftedCholQR3", func() error { _, err := core.ShiftedCholQR3(nil, a); return err }},
+		{"TSQR", func() error { core.TSQR(nil, a); return nil }},
+		{"HouseholderQR", func() error { core.HouseholderQR(nil, a); return nil }},
+		{"LUCholQR2", func() error { _, err := core.LUCholQR2(nil, a); return err }},
 		{"RandCholQR", func() error {
-			_, err := core.RandCholQR(a, rand.New(rand.NewSource(1)))
+			_, err := core.RandCholQR(nil, a, rand.New(rand.NewSource(1)))
 			return err
 		}},
 		// CholQRMixed is excluded: κ₂ = 1e4 exceeds its fp32 breakdown
@@ -376,12 +376,12 @@ func BenchmarkAblationStrongRRQR(b *testing.B) {
 	a := benchMatrix(5000, 32, 32, 1e-8)
 	b.Run("GreedyQRCP", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			core.HQRCP(a)
+			core.HQRCP(nil, a)
 		}
 	})
 	b.Run("StrongRRQR", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.StrongRRQR(a, 24, core.DefaultStrongRRQRF); err != nil {
+			if _, err := core.StrongRRQR(nil, a, 24, core.DefaultStrongRRQRF); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -394,14 +394,14 @@ func BenchmarkAblationTournament(b *testing.B) {
 	a := benchMatrix(8000, 64, 51, 1e-12)
 	b.Run("Tournament", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.TournamentQRCP(a, 16, 16); err != nil {
+			if _, err := core.TournamentQRCP(nil, a, 16, 16); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("IteCholQRCPTruncated", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.IteCholQRCPPartial(a, core.DefaultPivotTol, 16); err != nil {
+			if _, err := core.IteCholQRCPPartial(nil, a, core.DefaultPivotTol, 16); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -414,14 +414,14 @@ func BenchmarkAblationMixedPrecision(b *testing.B) {
 	a := benchMatrix(20000, 32, 32, 1e-1) // κ₂ = 10: safe for fp32
 	b.Run("Float32Gram", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.CholQRMixed(a); err != nil {
+			if _, err := core.CholQRMixed(nil, a); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("Float64", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.CholQR(a); err != nil {
+			if _, err := core.CholQR(nil, a); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -434,14 +434,14 @@ func BenchmarkAblationLUCholQR(b *testing.B) {
 	a := benchMatrix(10000, 32, 32, 1e-11)
 	b.Run("LUCholQR2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.LUCholQR2(a); err != nil {
+			if _, err := core.LUCholQR2(nil, a); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("ShiftedCholQR3", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.ShiftedCholQR3(a); err != nil {
+			if _, err := core.ShiftedCholQR3(nil, a); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -8,9 +8,10 @@
 //	go run ./cmd/bench-check -baseline BENCH_kernels.json -candidate new.json
 //	BENCH_TOLERANCE=0.40 go run ./cmd/bench-check ...   # looser gate
 //
-// Rows are matched by (name, stage, m, n). Rows with flop attribution are
-// compared on GFLOP/s (machine-load robust); flop-less rows (end-to-end
-// entries, Swap stages) are compared on ns/op, and only when the baseline
+// Rows are matched by (name, stage, m, n). Batch rows (QRCPBatch) are
+// compared on problems/sec; rows with flop attribution are
+// compared on GFLOP/s (machine-load robust); the remaining flop-less rows
+// (end-to-end entries, Swap stages) are compared on ns/op, and only when the baseline
 // is at least 1 ms — sub-millisecond timings are noise on shared CI
 // runners. Schema versions must match exactly; a candidate produced by a
 // newer tool against an older baseline is a hard error, not a skip.
@@ -36,6 +37,9 @@ type record struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFLOPS      float64 `json:"gflops"`
+	// ProblemsPerSec is set on batch rows (QRCPBatch): completed
+	// factorizations per second; gated like GFLOP/s (higher is better).
+	ProblemsPerSec float64 `json:"problems_per_sec,omitempty"`
 }
 
 type report struct {
@@ -91,6 +95,8 @@ func validate(path string, rep *report) []string {
 			bad("record %d (%s): non-positive ns_per_op %g", i, r.Name, r.NsPerOp)
 		case r.GFLOPS < 0:
 			bad("record %d (%s): negative gflops", i, r.Name)
+		case r.ProblemsPerSec < 0:
+			bad("record %d (%s): negative problems_per_sec", i, r.Name)
 		}
 		k := key{r.Name, r.Stage, r.M, r.N}
 		if seen[k] {
@@ -131,6 +137,14 @@ func compare(base, cand *report, tol float64) (regressions []string, compared in
 		}
 		label = fmt.Sprintf("%s m=%d n=%d", label, c.M, c.N)
 		switch {
+		case b.ProblemsPerSec > 0 && c.ProblemsPerSec > 0:
+			compared++
+			if c.ProblemsPerSec < b.ProblemsPerSec*(1-tol) {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.1f problems/s vs baseline %.1f (-%.0f%%, tolerance %.0f%%)",
+					label, c.ProblemsPerSec, b.ProblemsPerSec,
+					100*(1-c.ProblemsPerSec/b.ProblemsPerSec), 100*tol))
+			}
 		case b.GFLOPS > 0 && c.GFLOPS > 0:
 			compared++
 			if c.GFLOPS < b.GFLOPS*(1-tol) {

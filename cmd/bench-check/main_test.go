@@ -16,6 +16,7 @@ func sampleReport() *report {
 			{Name: "IteCholQRCP", M: 10000, N: 64, NsPerOp: 8e7},
 			{Name: "IteCholQRCP", Stage: "Gram", M: 10000, N: 64, NsPerOp: 3e7, GFLOPS: 14.0},
 			{Name: "IteCholQRCP", Stage: "Swap", M: 10000, N: 64, NsPerOp: 5e5},
+			{Name: "QRCPBatch", M: 2500, N: 64, NsPerOp: 4e8, ProblemsPerSec: 80.0},
 		},
 	}
 }
@@ -59,10 +60,10 @@ func TestCompareNoRegression(t *testing.T) {
 	if len(regs) != 0 {
 		t.Fatalf("unexpected regressions: %v", regs)
 	}
-	// Gram, TrsmRight, IteCholQRCP (ns), stage Gram — the 0.5 ms Swap row
-	// is below the noise floor and must be skipped.
-	if compared != 4 {
-		t.Fatalf("want 4 compared rows, got %d", compared)
+	// Gram, TrsmRight, IteCholQRCP (ns), stage Gram, QRCPBatch — the
+	// 0.5 ms Swap row is below the noise floor and must be skipped.
+	if compared != 5 {
+		t.Fatalf("want 5 compared rows, got %d", compared)
 	}
 }
 
@@ -132,5 +133,18 @@ func TestCompareRequiresOverlap(t *testing.T) {
 	}}
 	if _, compared := compare(base, cand, 0.25); compared != 0 {
 		t.Fatalf("disjoint reports should compare 0 rows, got %d", compared)
+	}
+}
+
+func TestCompareGatesBatchThroughput(t *testing.T) {
+	base, cand := sampleReport(), sampleReport()
+	for i := range cand.Records {
+		if cand.Records[i].Name == "QRCPBatch" {
+			cand.Records[i].ProblemsPerSec *= 0.5 // -50% throughput
+		}
+	}
+	regs, _ := compare(base, cand, 0.25)
+	if len(regs) != 1 || !strings.Contains(regs[0], "problems/s") {
+		t.Fatalf("want one problems/s regression, got %v", regs)
 	}
 }

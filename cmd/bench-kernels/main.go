@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"testing"
 	"time"
 
+	tsqrcp "repro"
 	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/parallel"
@@ -44,6 +46,9 @@ type record struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFLOPS      float64 `json:"gflops"`
+	// ProblemsPerSec is set on batch rows only: factorizations completed
+	// per second across the whole batch.
+	ProblemsPerSec float64 `json:"problems_per_sec,omitempty"`
 }
 
 type report struct {
@@ -96,6 +101,9 @@ func upperTriangular(rng *rand.Rand, n int) *mat.Dense {
 	return r
 }
 
+// batchSize is the number of problems in the QRCPBatch throughput rows.
+const batchSize = 32
+
 // stageRows runs the end-to-end factorization under tracing and converts
 // the breakdown to per-stage benchmark rows: NsPerOp is the average
 // attributed time per factorization over reps runs, so stage rows for one
@@ -105,7 +113,7 @@ func stageRows(a *mat.Dense, m, n, reps int) []record {
 	trace.Enable()
 	for i := 0; i < reps; i++ {
 		sp := trace.Region(trace.StageTotal)
-		_, err := core.IteCholQRCP(a, core.DefaultPivotTol)
+		_, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol)
 		sp.End()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "IteCholQRCP (traced):", err)
@@ -194,7 +202,7 @@ func main() {
 				func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						blas.Gram(w, a)
+						blas.Gram(nil, w, a)
 					}
 				}))
 
@@ -208,7 +216,7 @@ func main() {
 						b.StopTimer()
 						work.Copy(a)
 						b.StartTimer()
-						blas.TrsmRightUpperNoTrans(work, r)
+						blas.TrsmRightUpperNoTrans(nil, work, r)
 					}
 				}))
 
@@ -219,7 +227,7 @@ func main() {
 				func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
-						blas.Gemm(blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
+						blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, a, bb, 0, c)
 					}
 				}))
 		}
@@ -233,7 +241,7 @@ func main() {
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := core.IteCholQRCP(a, core.DefaultPivotTol); err != nil {
+					if _, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol); err != nil {
 						fmt.Fprintln(os.Stderr, "IteCholQRCP:", err)
 						os.Exit(1)
 					}
@@ -242,6 +250,40 @@ func main() {
 		if *traced {
 			rep.Records = append(rep.Records, stageRows(a, m, n, 3)...)
 		}
+	}
+
+	// Batch serving throughput: batchSize independent tall-skinny problems
+	// sharded across the persistent pool by Engine.QRCPBatch. The gated
+	// figure is problems/sec — the serving-shaped metric — rather than
+	// GFLOP/s, which rewards big matrices over fast turnaround.
+	// The shape is fixed (not derived from -e2e-m) so the quick CI smoke
+	// run produces rows with the same key as the committed baseline and
+	// bench-check actually gates them.
+	const batchM = 1000
+	for _, n := range []int{64, 128} {
+		problems := make([]*mat.Dense, batchSize)
+		for i := range problems {
+			problems[i] = testmat.Generate(rng, batchM, n, (n*4)/5, 1e-12)
+		}
+		r := run("QRCPBatch", batchM, n, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				results, err := tsqrcp.QRCPBatch(context.Background(), problems, nil)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "QRCPBatch:", err)
+					os.Exit(1)
+				}
+				for j := range results {
+					if results[j].Err != nil {
+						fmt.Fprintln(os.Stderr, "QRCPBatch problem:", results[j].Err)
+						os.Exit(1)
+					}
+				}
+			}
+		})
+		r.ProblemsPerSec = float64(batchSize) * 1e9 / r.NsPerOp
+		fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %37.1f problems/s\n", "QRCPBatch", batchM, n, r.ProblemsPerSec)
+		rep.Records = append(rep.Records, r)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

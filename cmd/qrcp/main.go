@@ -122,7 +122,7 @@ func report(a *mat.Dense, f *tsqrcp.Factorization, elapsed time.Duration) {
 	fmt.Println()
 	fmt.Printf("orthogonality ‖QᵀQ−I‖_F/√n : %.2e\n", metrics.Orthogonality(f.Q))
 	fmt.Printf("residual ‖AΠ−QR‖_F/‖A‖_F   : %.2e\n", metrics.Residual(a, f.Q, f.R, f.Perm))
-	k := f.Rank(0)
+	k := f.NumericalRank(0)
 	fmt.Printf("estimated numerical rank    : %d\n", k)
 	if k > 0 && k <= 256 { // Jacobi SVD cost guard
 		fmt.Printf("κ₂(R₁₁)                    : %.2e\n", metrics.CondR11(f.R, k))

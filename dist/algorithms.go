@@ -24,7 +24,7 @@ type QRCPResult struct {
 // communication-avoiding (§III-D2).
 func gramAllreduce(comm Comm) core.GramFunc {
 	return func(dst, a *mat.Dense) {
-		blas.Gram(dst, a)
+		blas.Gram(nil, dst, a)
 		if dst.Stride == dst.Cols {
 			allreduceTraced(comm, dst.Data[:dst.Rows*dst.Cols])
 			return
@@ -57,7 +57,7 @@ func allreduceTraced(comm Comm, buf []float64) {
 // aLocal is overwritten with the local block of Q; R is returned
 // replicated on every rank.
 func CholQR(comm Comm, aLocal *mat.Dense) (*mat.Dense, error) {
-	return core.CholQRInPlaceGram(aLocal, gramAllreduce(comm))
+	return core.CholQRInPlaceGram(nil, aLocal, gramAllreduce(comm))
 }
 
 // IteCholQRCP computes the distributed QR factorization with column
@@ -70,7 +70,7 @@ func CholQR(comm Comm, aLocal *mat.Dense) (*mat.Dense, error) {
 // aLocal is not modified. The result's QLocal is this rank's block of Q;
 // R and Perm are replicated and identical on all ranks.
 func IteCholQRCP(comm Comm, aLocal *mat.Dense, eps float64) (*QRCPResult, error) {
-	res, err := core.IteCholQRCPGram(aLocal, eps, gramAllreduce(comm), nil)
+	res, err := core.IteCholQRCPGram(nil, aLocal, eps, gramAllreduce(comm), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +128,7 @@ func HQRCP(comm Comm, aLocal *mat.Dense, layout Layout, formQ bool) *QRCPResult 
 	wbuf := make([]float64, n)
 	rbuf := make([]float64, n)
 	recomp := make([]bool, n)
-	tol3z := math.Sqrt(2.220446049250313e-16)
+	tol3z := math.Sqrt(mat.Eps)
 
 	for j := 0; j < n; j++ {
 		// Pivot selection on replicated norms (deterministic everywhere).
@@ -327,15 +327,15 @@ func formQDist(comm Comm, a *mat.Dense, tau []float64, layout Layout, rowLo int)
 		}
 		// Global S = VᵀV via one Allreduce, then T from S and tau.
 		s := mat.NewDense(jb, jb)
-		blas.Gram(s, v)
+		blas.Gram(nil, s, v)
 		comm.AllreduceSum(s.Data)
 		t := buildT(s, tau[j:j+jb])
 		// W = Vᵀ·Q (global), then Q −= V·(T·W).
 		w := mat.NewDense(jb, n)
-		blas.Gemm(blas.Trans, blas.NoTrans, 1, v, q, 0, w)
+		blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, v, q, 0, w)
 		comm.AllreduceSum(w.Data)
 		blas.TrmmLeftUpperNoTrans(t, w)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, v, w, 1, q)
+		blas.Gemm(nil, blas.NoTrans, blas.NoTrans, -1, v, w, 1, q)
 	}
 	return q
 }
@@ -369,7 +369,7 @@ func buildT(s *mat.Dense, tau []float64) *mat.Dense {
 // reorthogonalization — still O(1), and fewer iterations than the full
 // factorization when k ≪ n.
 func IteCholQRCPTruncated(comm Comm, aLocal *mat.Dense, eps float64, k int) (*TruncatedResult, error) {
-	res, err := core.IteCholQRCPPartialGram(aLocal, eps, k, gramAllreduce(comm))
+	res, err := core.IteCholQRCPPartialGram(nil, aLocal, eps, k, gramAllreduce(comm))
 	if err != nil {
 		return nil, err
 	}

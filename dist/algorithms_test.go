@@ -35,7 +35,7 @@ func TestDistCholQRMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(131))
 	m, n := 240, 12
 	a := testmat.GenerateWellConditioned(rng, m, n, 100)
-	serial, err := core.CholQR(a)
+	serial, err := core.CholQR(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestDistIteCholQRCPMatchesSerialPivots(t *testing.T) {
 	rng := rand.New(rand.NewSource(132))
 	m, n, r := 400, 20, 16
 	a := testmat.Generate(rng, m, n, r, 1e-10)
-	serialRes, err := core.IteCholQRCP(a, core.DefaultPivotTol)
+	serialRes, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +129,7 @@ func TestDistHQRCPMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(133))
 	m, n, rk := 300, 18, 14
 	a := testmat.Generate(rng, m, n, rk, 1e-8)
-	serial := core.HQRCP(a)
+	serial := core.HQRCP(nil, a)
 	for _, p := range []int{1, 3, 5} {
 		l := Layout{M: m, P: p}
 		blocks := scatter(a, l)
@@ -169,7 +169,7 @@ func TestDistHQRCPNoQ(t *testing.T) {
 	if results[0].QLocal != nil {
 		t.Fatal("formQ=false must not build Q")
 	}
-	serial := core.HQRCP(a)
+	serial := core.HQRCP(nil, a)
 	for j := range serial.Perm {
 		if results[0].Perm[j] != serial.Perm[j] {
 			t.Fatalf("pivots differ at %d", j)
@@ -246,7 +246,7 @@ func TestDistIteCholQRCPTruncated(t *testing.T) {
 	rng := rand.New(rand.NewSource(137))
 	m, n, k := 320, 20, 8
 	a := testmat.Generate(rng, m, n, 16, 1e-8)
-	serial, err := core.IteCholQRCPPartial(a, core.DefaultPivotTol, k)
+	serial, err := core.IteCholQRCPPartial(nil, a, core.DefaultPivotTol, k)
 	if err != nil {
 		t.Fatal(err)
 	}

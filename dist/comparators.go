@@ -13,11 +13,11 @@ import (
 // returned.
 func CholQR2(comm Comm, aLocal *mat.Dense) (*mat.Dense, error) {
 	gram := gramAllreduce(comm)
-	r1, err := core.CholQRInPlaceGram(aLocal, gram)
+	r1, err := core.CholQRInPlaceGram(nil, aLocal, gram)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := core.CholQRInPlaceGram(aLocal, gram)
+	r2, err := core.CholQRInPlaceGram(nil, aLocal, gram)
 	if err != nil {
 		return nil, err
 	}
@@ -38,10 +38,10 @@ func QRThenQRCP(comm Comm, aLocal *mat.Dense) *QRCPResult {
 	// Replicated small QRCP of R₀ (deterministic: same bits everywhere).
 	tau := make([]float64, n)
 	jpvt := make(mat.Perm, n)
-	lapack.Geqp3(r0, tau, jpvt)
+	lapack.Geqp3(nil, r0, tau, jpvt)
 	r := lapack.ExtractR(r0)
-	lapack.Orgqr(r0, tau) // r0 is now the n×n Q₁
+	lapack.Orgqr(nil, r0, tau) // r0 is now the n×n Q₁
 	qLocal := mat.NewDense(aLocal.Rows, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q0, r0, 0, qLocal)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, q0, r0, 0, qLocal)
 	return &QRCPResult{QLocal: qLocal, R: r, Perm: jpvt}
 }

@@ -55,7 +55,7 @@ func TestDistQRThenQRCPMatchesSerialPivots(t *testing.T) {
 	rng := rand.New(rand.NewSource(183))
 	m, n, rk := 320, 16, 13
 	a := testmat.Generate(rng, m, n, rk, 1e-8)
-	ref := core.HQRCPNoQ(a)
+	ref := core.HQRCPNoQ(nil, a)
 	l := Layout{M: m, P: 4}
 	blocks := scatter(a, l)
 	results := make([]*QRCPResult, 4)

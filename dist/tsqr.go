@@ -38,13 +38,13 @@ func TSQR(comm Comm, aLocal *mat.Dense) *mat.Dense {
 	// Redundant combine factorization of the P·n×n stack on every rank.
 	stack := mat.NewDenseData(p*n, n, stackData)
 	tau := make([]float64, n)
-	lapack.Geqrf(stack, tau)
+	lapack.Geqrf(nil, stack, tau)
 	r := lapack.ExtractR(stack)
-	lapack.Orgqr(stack, tau)
+	lapack.Orgqr(nil, stack, tau)
 
 	// Q_local = Q_leaf · Qs[rank-block].
 	qs := stack.Slice(rank*n, (rank+1)*n, 0, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, local.Q, qs, 0, aLocal)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, local.Q, qs, 0, aLocal)
 	return r
 }
 
@@ -53,9 +53,9 @@ func TSQR(comm Comm, aLocal *mat.Dense) *mat.Dense {
 func HouseholderThin(a *mat.Dense) *QRPair {
 	n := a.Cols
 	tau := make([]float64, n)
-	lapack.Geqrf(a, tau)
+	lapack.Geqrf(nil, a, tau)
 	r := lapack.ExtractR(a)
-	lapack.Orgqr(a, tau)
+	lapack.Orgqr(nil, a, tau)
 	return &QRPair{Q: a, R: r}
 }
 

@@ -22,6 +22,27 @@
 //	CholeskyQR / CholeskyQR2 / ShiftedCholeskyQR3 / HouseholderQR —
 //	   unpivoted tall-skinny QR
 //
+// # Engines, cancellation, and batch serving
+//
+// Every factorization runs on an Engine: an execution context carrying a
+// parallel width budget and an optional context.Context. The
+// package-level functions use the default engine (all cores, no
+// cancellation); servers that embed the library create explicit engines
+// so concurrent calls with different resource bounds never interfere:
+//
+//	e := tsqrcp.NewEngine(4)                   // ≤ 4-way parallelism
+//	f, err := e.QRCP(a, nil)
+//	f, err = e.WithContext(ctx).QRCP(a, nil)   // stops at a stage boundary
+//	                                           // once ctx is cancelled
+//
+// Engine.QRCPBatch shards a slice of independent problems across the
+// persistent worker pool with per-problem error reporting:
+//
+//	results, err := e.QRCPBatch(ctx, problems, nil)
+//
+// Worker bounds are per-engine (and per-call via Options.Workers), never
+// process-global, so any number of engines can run concurrently.
+//
 // Supporting packages:
 //
 //	mat     — dense row-major matrices and permutations

@@ -1,6 +1,7 @@
 package tsqrcp_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -20,7 +21,7 @@ func ExampleQRCP() {
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("rank:", f.Rank(0))
+	fmt.Println("rank:", f.NumericalRank(0))
 	fmt.Println("iterations:", f.Iterations)
 	// Output:
 	// rank: 18
@@ -94,4 +95,53 @@ func ExampleCholeskyQR2() {
 	// Output:
 	// Q columns: 8
 	// R upper triangular: true
+}
+
+// ExampleEngine runs two factorizations with different worker budgets —
+// per-engine state, so concurrent goroutines never interfere.
+func ExampleEngine() {
+	rng := rand.New(rand.NewSource(5))
+	a := testmat.Generate(rng, 3000, 16, 12, 1e-8)
+
+	serial := tsqrcp.NewEngine(1)
+	wide := tsqrcp.NewEngine(4)
+	f1, err := serial.QRCP(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	f2, err := wide.QRCP(a, nil)
+	if err != nil {
+		panic(err)
+	}
+	same := true
+	for j := range f1.Perm {
+		same = same && f1.Perm[j] == f2.Perm[j]
+	}
+	fmt.Println("pivots independent of width:", same)
+	// Output:
+	// pivots independent of width: true
+}
+
+// ExampleEngine_QRCPBatch factors a fleet of small problems in one call,
+// sharded across the persistent worker pool with per-problem errors.
+func ExampleEngine_QRCPBatch() {
+	rng := rand.New(rand.NewSource(6))
+	problems := make([]*mat.Dense, 8)
+	for i := range problems {
+		problems[i] = testmat.Generate(rng, 1000, 12, 10, 1e-2)
+	}
+
+	results, err := tsqrcp.DefaultEngine().QRCPBatch(context.Background(), problems, nil)
+	if err != nil {
+		panic(err)
+	}
+	ok := 0
+	for _, res := range results {
+		if res.Err == nil && res.F.NumericalRank(1e-6) == 10 {
+			ok++
+		}
+	}
+	fmt.Printf("%d/%d problems factored at rank 10\n", ok, len(problems))
+	// Output:
+	// 8/8 problems factored at rank 10
 }

@@ -30,7 +30,7 @@ func main() {
 
 	// The permutation orders columns by decreasing importance, so the
 	// diagonal of R reveals the numerical rank.
-	rank := f.Rank(0)
+	rank := f.NumericalRank(0)
 	fmt.Printf("  numerical rank      : %d (constructed: 40)\n", rank)
 	fmt.Printf("  |R(0,0)|   = %.3e\n", f.R.At(0, 0))
 	fmt.Printf("  |R(39,39)| = %.3e\n", f.R.At(39, 39))

@@ -63,7 +63,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	rank := f.Rank(1e-14)
+	rank := f.NumericalRank(1e-14)
 	fmt.Printf("QRCP       : ok, %d pivot iterations\n", f.Iterations)
 	fmt.Printf("  numerical rank of %d Krylov vectors: %d\n", steps, rank)
 	fmt.Printf("  orthogonality of basis: %.2e\n", metrics.Orthogonality(f.Q))

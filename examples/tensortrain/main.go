@@ -61,7 +61,7 @@ func ttDecompose(t []float64, tol float64) (g1, g2, g3 *mat.Dense, r1, r2 int) {
 	if err != nil {
 		panic(err)
 	}
-	r1 = f1.Rank(tol)
+	r1 = f1.NumericalRank(tol)
 	qt := f1.Q.Slice(0, n2*n3, 0, r1)
 	// Weighted first factor A₁·Q̃, then a small QR to push the singular
 	// weights into the remainder (TT-SVD keeps cores orthonormal and the
@@ -81,7 +81,7 @@ func ttDecompose(t []float64, tol float64) (g1, g2, g3 *mat.Dense, r1, r2 int) {
 	if err != nil {
 		panic(err)
 	}
-	r2 = f2.Rank(tol)
+	r2 = f2.NumericalRank(tol)
 	g2 = f2.Q.Slice(0, r1*n2, 0, r2).Clone()
 	// G₃ = R(1:r2, :) with the pivoting undone: columns back in order.
 	rp := f2.R.Slice(0, r2, 0, n3)

@@ -215,7 +215,7 @@ func compressDense(dense *mat.Dense, tol float64, u, v **mat.Dense) error {
 		if err != nil {
 			return fmt.Errorf("hmatrix: block (%d×%d): %w", m, n, err)
 		}
-		rank := f.Rank(tol)
+		rank := f.NumericalRank(tol)
 		if rank == 0 {
 			rank = 1
 		}
@@ -229,7 +229,7 @@ func compressDense(dense *mat.Dense, tol float64, u, v **mat.Dense) error {
 	if err != nil {
 		return fmt.Errorf("hmatrix: block (%d×%d): %w", m, n, err)
 	}
-	rank := f.Rank(tol)
+	rank := f.NumericalRank(tol)
 	if rank == 0 {
 		rank = 1
 	}

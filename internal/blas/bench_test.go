@@ -40,7 +40,7 @@ func BenchmarkGram(b *testing.B) {
 		w := mat.NewDense(sh.n, sh.n)
 		b.Run(fmt.Sprintf("m=%d/n=%d", sh.m, sh.n), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				Gram(w, a)
+				Gram(nil, w, a)
 			}
 			reportGFLOPS(b, 2*float64(sh.m)*float64(sh.n)*float64(sh.n))
 		})
@@ -56,7 +56,7 @@ func BenchmarkTrsmRight(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				work := a.Clone()
 				b.StartTimer()
-				TrsmRightUpperNoTrans(work, r)
+				TrsmRightUpperNoTrans(nil, work, r)
 				b.StopTimer()
 			}
 			b.StartTimer()
@@ -71,7 +71,7 @@ func BenchmarkGemmNN(b *testing.B) {
 	c := mat.NewDense(m, n)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Gemm(NoTrans, NoTrans, 1, a, bb, 0, c)
+		Gemm(nil, NoTrans, NoTrans, 1, a, bb, 0, c)
 	}
 	reportGFLOPS(b, 2*float64(m)*float64(k)*float64(n))
 }
@@ -86,7 +86,7 @@ func BenchmarkGemvTrans(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Gemv(Trans, 1, a, x, 0, y)
+		Gemv(nil, Trans, 1, a, x, 0, y)
 	}
 	reportGFLOPS(b, 2*float64(m)*float64(n))
 }
@@ -104,7 +104,7 @@ func BenchmarkGer(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Ger(1, x, y, a)
+		Ger(nil, 1, x, y, a)
 	}
 	reportGFLOPS(b, 2*float64(m)*float64(n))
 }

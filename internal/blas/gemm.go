@@ -28,8 +28,9 @@ const (
 )
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C, where op is the identity
-// or transpose as selected by tA and tB. C must not alias A or B.
-func Gemm(tA, tB Transpose, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
+// or transpose as selected by tA and tB. C must not alias A or B. The
+// engine e bounds the parallel width (nil selects the default engine).
+func Gemm(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
 	m, n, k := checkGemm(tA, tB, a, b, c)
 	if m == 0 || n == 0 {
 		return
@@ -45,13 +46,13 @@ func Gemm(tA, tB Transpose, alpha float64, a, b *mat.Dense, beta float64, c *mat
 	trace.AddFlops(trace.KernelGemm, 2*int64(m)*int64(n)*int64(k))
 	switch {
 	case tA == NoTrans && tB == NoTrans:
-		gemmNN(alpha, a, b, c)
+		gemmNN(e, alpha, a, b, c)
 	case tA == Trans && tB == NoTrans:
-		gemmTN(alpha, a, b, c)
+		gemmTN(e, alpha, a, b, c)
 	case tA == NoTrans && tB == Trans:
-		gemmNT(alpha, a, b, c)
+		gemmNT(e, alpha, a, b, c)
 	default:
-		gemmTT(alpha, a, b, c)
+		gemmTT(e, alpha, a, b, c)
 	}
 }
 
@@ -77,14 +78,14 @@ func scaleMatrix(beta float64, c *mat.Dense) {
 // packs the active B tile into a contiguous pooled buffer so the inner
 // kernel streams it independent of B's stride, and only an nBlock-wide
 // segment of the C row is live per tile.
-func gemmNN(alpha float64, a, b, c *mat.Dense) {
+func gemmNN(e *parallel.Engine, alpha float64, a, b, c *mat.Dense) {
 	m, n, k := c.Rows, c.Cols, a.Cols
-	if mulFlops(2, m, n, k) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+	if mulFlops(2, m, n, k) < gemmParallelFlops || e.Workers() == 1 {
 		gemmNNRange(alpha, a, b, c, 0, m)
 		return
 	}
 	minChunk := gemmParallelFlops / (mulFlops(2, n, k) + 1)
-	parallel.For(m, minChunk+1, func(lo, hi int) {
+	e.For(m, minChunk+1, func(lo, hi int) {
 		gemmNNRange(alpha, a, b, c, lo, hi)
 	})
 }
@@ -184,10 +185,10 @@ func gemmNNPacked(alpha float64, a, b, c *mat.Dense, lo, hi int) {
 // a pooled private m×n buffer, followed by a sequential reduction. For the
 // tall-skinny shapes in this library the buffer is a small n×n block, and
 // pooling makes the steady-state iteration loop allocation-free.
-func gemmTN(alpha float64, a, b, c *mat.Dense) {
+func gemmTN(e *parallel.Engine, alpha float64, a, b, c *mat.Dense) {
 	m, n := c.Rows, c.Cols // m = a.Cols
 	k := a.Rows
-	w := parallel.MaxWorkers()
+	w := e.Workers()
 	if mulFlops(2, m, n, k) < gemmParallelFlops || w == 1 || mulFlops(m, n) > maxPrivateAcc {
 		gemmTNRange(alpha, a, b, 0, k, c)
 		return
@@ -207,7 +208,7 @@ func gemmTN(alpha float64, a, b, c *mat.Dense) {
 			bufs[bi] = buf
 		}
 	}
-	parallel.Do(tasks...)
+	e.Do(tasks...)
 	for _, buf := range bufs {
 		for i := 0; i < m; i++ {
 			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
@@ -267,14 +268,14 @@ func gemmTNRange(alpha float64, a, b *mat.Dense, lo, hi int, dst *mat.Dense) {
 
 // gemmNT: C += alpha·A·Bᵀ. Each output element is a dot product of two
 // contiguous rows; parallel over rows of C.
-func gemmNT(alpha float64, a, b, c *mat.Dense) {
+func gemmNT(e *parallel.Engine, alpha float64, a, b, c *mat.Dense) {
 	m, n, k := c.Rows, c.Cols, a.Cols
-	if mulFlops(2, m, n, k) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+	if mulFlops(2, m, n, k) < gemmParallelFlops || e.Workers() == 1 {
 		gemmNTRange(alpha, a, b, c, 0, m)
 		return
 	}
 	minChunk := gemmParallelFlops / (mulFlops(2, n, k) + 1)
-	parallel.For(m, minChunk+1, func(lo, hi int) {
+	e.For(m, minChunk+1, func(lo, hi int) {
 		gemmNTRange(alpha, a, b, c, lo, hi)
 	})
 }
@@ -310,15 +311,15 @@ func gemmNTRange(alpha float64, a, b, c *mat.Dense, lo, hi int) {
 // to run never vectorizes and thrashes the TLB for large k. The same
 // packed kernel serves the sequential fallback, so small products get the
 // register blocking too.
-func gemmTT(alpha float64, a, b, c *mat.Dense) {
+func gemmTT(e *parallel.Engine, alpha float64, a, b, c *mat.Dense) {
 	m, n := c.Rows, c.Cols
 	k := a.Rows
-	if mulFlops(2, m, n, k) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+	if mulFlops(2, m, n, k) < gemmParallelFlops || e.Workers() == 1 {
 		gemmTTRange(alpha, a, b, c, 0, m)
 		return
 	}
 	minChunk := gemmParallelFlops / (mulFlops(2, n, k) + 1)
-	parallel.For(m, minChunk+1, func(lo, hi int) {
+	e.For(m, minChunk+1, func(lo, hi int) {
 		gemmTTRange(alpha, a, b, c, lo, hi)
 	})
 }

@@ -12,20 +12,21 @@ import (
 // more than the memory traffic it hides.
 const gemvParallelThreshold = 1 << 15
 
-// Gemv computes y = alpha·op(A)·x + beta·y.
-func Gemv(t Transpose, alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+// Gemv computes y = alpha·op(A)·x + beta·y. The engine e bounds the
+// parallel width (nil selects the default engine).
+func Gemv(e *parallel.Engine, t Transpose, alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
 	rows, cols := dims(t, a)
 	if len(x) != cols || len(y) != rows {
 		panic(fmt.Sprintf("blas: Gemv op(A) %d×%d with x[%d], y[%d]", rows, cols, len(x), len(y)))
 	}
 	if t == NoTrans {
-		gemvN(alpha, a, x, beta, y)
+		gemvN(e, alpha, a, x, beta, y)
 	} else {
-		gemvT(alpha, a, x, beta, y)
+		gemvT(e, alpha, a, x, beta, y)
 	}
 }
 
-func gemvN(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+func gemvN(e *parallel.Engine, alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
 	n := a.Cols
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -49,14 +50,14 @@ func gemvN(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) 
 		return
 	}
 	minChunk := gemvParallelThreshold / (a.Cols + 1)
-	parallel.For(a.Rows, minChunk+1, body)
+	e.For(a.Rows, minChunk+1, body)
 }
 
-func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
+func gemvT(e *parallel.Engine, alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) {
 	for j := range y {
 		y[j] *= beta
 	}
-	if a.Rows*a.Cols < gemvParallelThreshold || parallel.MaxWorkers() == 1 {
+	if a.Rows*a.Cols < gemvParallelThreshold || e.Workers() == 1 {
 		for i := 0; i < a.Rows; i++ {
 			xi := alpha * x[i]
 			if xi == 0 {
@@ -72,7 +73,7 @@ func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) 
 	// Parallel over row blocks with pooled per-block private accumulators,
 	// then a sequential reduction (y is short: len == a.Cols).
 	minChunk := gemvParallelThreshold / (a.Cols + 1)
-	ranges := parallel.Split(a.Rows, parallel.MaxWorkers(), minChunk+1)
+	ranges := e.Split(a.Rows, minChunk+1)
 	acc := make([][]float64, len(ranges))
 	tasks := make([]func(), len(ranges))
 	for bi, r := range ranges {
@@ -91,7 +92,7 @@ func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) 
 			acc[bi] = buf
 		}
 	}
-	parallel.Do(tasks...)
+	e.Do(tasks...)
 	for _, buf := range acc {
 		for j, v := range buf {
 			y[j] += v
@@ -100,8 +101,9 @@ func gemvT(alpha float64, a *mat.Dense, x []float64, beta float64, y []float64) 
 	}
 }
 
-// Ger computes A += alpha·x·yᵀ.
-func Ger(alpha float64, x, y []float64, a *mat.Dense) {
+// Ger computes A += alpha·x·yᵀ. The engine e bounds the parallel width
+// (nil selects the default engine).
+func Ger(e *parallel.Engine, alpha float64, x, y []float64, a *mat.Dense) {
 	if len(x) != a.Rows || len(y) != a.Cols {
 		panic(fmt.Sprintf("blas: Ger A %d×%d with x[%d], y[%d]", a.Rows, a.Cols, len(x), len(y)))
 	}
@@ -125,7 +127,7 @@ func Ger(alpha float64, x, y []float64, a *mat.Dense) {
 		return
 	}
 	minChunk := gemvParallelThreshold / (a.Cols + 1)
-	parallel.For(a.Rows, minChunk+1, body)
+	e.For(a.Rows, minChunk+1, body)
 }
 
 // SyrUpper computes the upper triangle of W += alpha·x·xᵀ for symmetric W.

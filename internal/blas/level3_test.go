@@ -31,9 +31,9 @@ func TestGemmAllTransCombos(t *testing.T) {
 			c := randDenseStrided(rng, sh.m, sh.n)
 			want := c.Clone()
 			naiveGemm(cb.tA, cb.tB, 1.3, a, b, -0.7, want)
-			Gemm(cb.tA, cb.tB, 1.3, a, b, -0.7, c)
+			Gemm(nil, cb.tA, cb.tB, 1.3, a, b, -0.7, c)
 			if !mat.EqualApprox(c, want, 1e-10) {
-				t.Fatalf("Gemm(tA=%v,tB=%v) shape %+v disagrees with naive", cb.tA, cb.tB, sh)
+				t.Fatalf("Gemm(nil, tA=%v,tB=%v) shape %+v disagrees with naive", cb.tA, cb.tB, sh)
 			}
 		}
 	}
@@ -49,7 +49,7 @@ func TestGemmBetaZeroOverwritesGarbage(t *testing.T) {
 	}
 	want := mat.NewDense(4, 5)
 	naiveGemm(NoTrans, NoTrans, 1, a, b, 0, want)
-	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	Gemm(nil, NoTrans, NoTrans, 1, a, b, 0, c)
 	if !mat.EqualApprox(c, want, 1e-12) {
 		t.Fatal("beta=0 must fully overwrite C")
 	}
@@ -64,7 +64,7 @@ func TestGemmAlphaZeroScalesOnly(t *testing.T) {
 	for i := range want.Data {
 		want.Data[i] *= 2
 	}
-	Gemm(NoTrans, NoTrans, 0, a, b, 2, c)
+	Gemm(nil, NoTrans, NoTrans, 0, a, b, 2, c)
 	if !mat.EqualApprox(c, want, 1e-14) {
 		t.Fatal("alpha=0 must only scale C by beta")
 	}
@@ -72,10 +72,10 @@ func TestGemmAlphaZeroScalesOnly(t *testing.T) {
 
 func TestGemmDimensionPanics(t *testing.T) {
 	mustPanicB(t, func() {
-		Gemm(NoTrans, NoTrans, 1, mat.NewDense(2, 3), mat.NewDense(4, 2), 0, mat.NewDense(2, 2))
+		Gemm(nil, NoTrans, NoTrans, 1, mat.NewDense(2, 3), mat.NewDense(4, 2), 0, mat.NewDense(2, 2))
 	})
 	mustPanicB(t, func() {
-		Gemm(NoTrans, NoTrans, 1, mat.NewDense(2, 3), mat.NewDense(3, 2), 0, mat.NewDense(3, 2))
+		Gemm(nil, NoTrans, NoTrans, 1, mat.NewDense(2, 3), mat.NewDense(3, 2), 0, mat.NewDense(3, 2))
 	})
 }
 
@@ -86,11 +86,11 @@ func TestGemmLargeParallelTall(t *testing.T) {
 	a := randDense(rng, m, n)
 	b := randDense(rng, m, n)
 	c := mat.NewDense(n, n)
-	Gemm(Trans, NoTrans, 1, a, b, 0, c)
+	Gemm(nil, Trans, NoTrans, 1, a, b, 0, c)
 
 	prev := parallel.SetMaxWorkers(1)
 	want := mat.NewDense(n, n)
-	Gemm(Trans, NoTrans, 1, a, b, 0, want)
+	Gemm(nil, Trans, NoTrans, 1, a, b, 0, want)
 	parallel.SetMaxWorkers(prev)
 
 	if !mat.EqualApprox(c, want, 1e-8) {
@@ -104,10 +104,10 @@ func TestGemmLargeParallelNN(t *testing.T) {
 	a := randDense(rng, m, k)
 	b := randDense(rng, k, n)
 	c := mat.NewDense(m, n)
-	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	Gemm(nil, NoTrans, NoTrans, 1, a, b, 0, c)
 	prev := parallel.SetMaxWorkers(1)
 	want := mat.NewDense(m, n)
-	Gemm(NoTrans, NoTrans, 1, a, b, 0, want)
+	Gemm(nil, NoTrans, NoTrans, 1, a, b, 0, want)
 	parallel.SetMaxWorkers(prev)
 	if !mat.EqualApprox(c, want, 1e-9) {
 		t.Fatal("parallel NN gemm disagrees with sequential")
@@ -122,7 +122,7 @@ func TestSyrkUpperTrans(t *testing.T) {
 			c := randDenseStrided(rng, n, n)
 			want := c.Clone()
 			naiveSyrkUpper(1.5, a, 0.5, want)
-			SyrkUpperTrans(1.5, a, 0.5, c)
+			SyrkUpperTrans(nil, 1.5, a, 0.5, c)
 			// Compare upper triangles; lower must be untouched.
 			for i := 0; i < n; i++ {
 				for j := 0; j < n; j++ {
@@ -146,7 +146,7 @@ func TestSyrkLowerUntouched(t *testing.T) {
 	c := mat.NewDense(4, 4)
 	c.Set(2, 0, 123)
 	c.Set(3, 1, -7)
-	SyrkUpperTrans(1, a, 0, c)
+	SyrkUpperTrans(nil, 1, a, 0, c)
 	if c.At(2, 0) != 123 || c.At(3, 1) != -7 {
 		t.Fatal("SyrkUpperTrans modified the strict lower triangle")
 	}
@@ -156,7 +156,7 @@ func TestGramSymmetricPSD(t *testing.T) {
 	rng := rand.New(rand.NewSource(18))
 	a := randDense(rng, 300, 12)
 	w := mat.NewDense(12, 12)
-	Gram(w, a)
+	Gram(nil, w, a)
 	for i := 0; i < 12; i++ {
 		if w.At(i, i) < 0 {
 			t.Fatalf("Gram diagonal negative at %d", i)
@@ -181,7 +181,7 @@ func TestTrsmRightUpperNoTrans(t *testing.T) {
 			r := upperTriangular(rng, n)
 			b := randDenseStrided(rng, m, n)
 			orig := b.Clone()
-			TrsmRightUpperNoTrans(b, r)
+			TrsmRightUpperNoTrans(nil, b, r)
 			// Check B_new · R == B_old.
 			prod := mat.NewDense(m, n)
 			naiveGemm(NoTrans, NoTrans, 1, b, r, 0, prod)
@@ -225,7 +225,7 @@ func TestTrsmSingularPanics(t *testing.T) {
 	r := mat.Identity(3)
 	r.Set(1, 1, 0)
 	b := mat.NewDense(4, 3)
-	mustPanicB(t, func() { TrsmRightUpperNoTrans(b, r) })
+	mustPanicB(t, func() { TrsmRightUpperNoTrans(nil, b, r) })
 	c := mat.NewDense(3, 2)
 	mustPanicB(t, func() { TrsmLeftUpperTrans(r, c) })
 	mustPanicB(t, func() { TrsmLeftUpperNoTrans(r, c) })

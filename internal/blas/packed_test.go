@@ -41,7 +41,7 @@ func TestGemmNNPackedWideN(t *testing.T) {
 		b := randDenseStrided(rng, sh.k, sh.n)
 		c := randDense(rng, sh.m, sh.n)
 		want := c.Clone()
-		Gemm(NoTrans, NoTrans, 1.5, a, b, 0.5, c)
+		Gemm(nil, NoTrans, NoTrans, 1.5, a, b, 0.5, c)
 		naiveGemm(NoTrans, NoTrans, 1.5, a, b, 0.5, want)
 		matsClose(t, c, want, 1e-12*float64(sh.k), "gemmNN packed")
 	}
@@ -58,7 +58,7 @@ func TestGemmTTPackedTiles(t *testing.T) {
 		b := randDenseStrided(rng, sh.n, sh.k) // op(B) = Bᵀ is k×n
 		c := randDense(rng, sh.m, sh.n)
 		want := c.Clone()
-		Gemm(Trans, Trans, -0.75, a, b, 1, c)
+		Gemm(nil, Trans, Trans, -0.75, a, b, 1, c)
 		naiveGemm(Trans, Trans, -0.75, a, b, 1, want)
 		matsClose(t, c, want, 1e-12*float64(sh.k), "gemmTT packed")
 	}
@@ -72,9 +72,9 @@ func TestGemmTTParallelMatchesSequential(t *testing.T) {
 	c1 := randDense(rng, m, n)
 	c2 := c1.Clone()
 	prev := parallel.SetMaxWorkers(4)
-	Gemm(Trans, Trans, 1, a, b, 1, c1)
+	Gemm(nil, Trans, Trans, 1, a, b, 1, c1)
 	parallel.SetMaxWorkers(1)
-	Gemm(Trans, Trans, 1, a, b, 1, c2)
+	Gemm(nil, Trans, Trans, 1, a, b, 1, c2)
 	parallel.SetMaxWorkers(prev)
 	matsClose(t, c1, c2, 1e-13*float64(k), "gemmTT parallel vs sequential")
 }
@@ -86,7 +86,7 @@ func TestSyrkWideNBlockedPath(t *testing.T) {
 		a := randDenseStrided(rng, m, n)
 		c := randDense(rng, n, n)
 		want := c.Clone()
-		SyrkUpperTrans(2, a, 0.25, c)
+		SyrkUpperTrans(nil, 2, a, 0.25, c)
 		naiveSyrkUpper(2, a, 0.25, want)
 		for i := 0; i < n; i++ {
 			for j := i; j < n; j++ {
@@ -114,9 +114,9 @@ func TestSyrkWideNParallelMatchesSequential(t *testing.T) {
 	c1 := mat.NewDense(n, n)
 	c2 := mat.NewDense(n, n)
 	prev := parallel.SetMaxWorkers(4)
-	SyrkUpperTrans(1, a, 0, c1)
+	SyrkUpperTrans(nil, 1, a, 0, c1)
 	parallel.SetMaxWorkers(1)
-	SyrkUpperTrans(1, a, 0, c2)
+	SyrkUpperTrans(nil, 1, a, 0, c2)
 	parallel.SetMaxWorkers(prev)
 	matsClose(t, c1, c2, 1e-13*float64(m), "syrk parallel vs sequential")
 }
@@ -155,8 +155,8 @@ func TestGramLargeStillAllocFree(t *testing.T) {
 		}
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		Gram(w, a)
-		TrsmRightUpperNoTrans(a, r)
+		Gram(nil, w, a)
+		TrsmRightUpperNoTrans(nil, a, r)
 	})
 	if allocs > 0 {
 		t.Fatalf("sequential Gram+TRSM allocated %.1f times per run, want 0", allocs)

@@ -32,7 +32,7 @@ func TestQuickGemmMatchesNaive(t *testing.T) {
 		c := randDenseStrided(rng, m, n)
 		want := c.Clone()
 		naiveGemm(Transpose(tA), Transpose(tB), alpha, a, b, beta, want)
-		Gemm(Transpose(tA), Transpose(tB), alpha, a, b, beta, c)
+		Gemm(nil, Transpose(tA), Transpose(tB), alpha, a, b, beta, c)
 		return mat.EqualApprox(c, want, 1e-11)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
@@ -51,7 +51,7 @@ func TestQuickSyrkMatchesNaive(t *testing.T) {
 		c := randDenseStrided(rng, n, n)
 		want := c.Clone()
 		naiveSyrkUpper(alpha, a, beta, want)
-		SyrkUpperTrans(alpha, a, beta, c)
+		SyrkUpperTrans(nil, alpha, a, beta, c)
 		for i := 0; i < n; i++ {
 			for j := i; j < n; j++ {
 				d := c.At(i, j) - want.At(i, j)
@@ -79,7 +79,7 @@ func TestQuickTrsmRightInvertsTrmm(t *testing.T) {
 		// X := X·R via gemm, then solve back.
 		prod := mat.NewDense(m, n)
 		naiveGemm(NoTrans, NoTrans, 1, x, r, 0, prod)
-		TrsmRightUpperNoTrans(prod, r)
+		TrsmRightUpperNoTrans(nil, prod, r)
 		return mat.EqualApprox(prod, orig, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
@@ -103,7 +103,7 @@ func TestQuickGemvConsistentWithGemm(t *testing.T) {
 			x[i] = rng.NormFloat64()
 		}
 		y := make([]float64, yl)
-		Gemv(Transpose(trans), 1.3, a, x, 0, y)
+		Gemv(nil, Transpose(trans), 1.3, a, x, 0, y)
 		xm := mat.NewDenseData(xl, 1, append([]float64(nil), x...))
 		ym := mat.NewDense(yl, 1)
 		naiveGemm(Transpose(trans), NoTrans, 1.3, a, xm, 0, ym)

@@ -19,8 +19,9 @@ const syrkJBlock = 256
 // are left untouched. The summation over the long dimension m is split
 // across pool workers with pooled private accumulators, exactly mirroring
 // how the distributed algorithm forms local Gram blocks before the
-// Allreduce.
-func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
+// Allreduce. The engine e bounds the parallel width (nil selects the
+// default engine).
+func SyrkUpperTrans(e *parallel.Engine, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	n := a.Cols
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("blas: SyrkUpperTrans C %d×%d, want %d×%d", c.Rows, c.Cols, n, n))
@@ -37,7 +38,7 @@ func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	sp := trace.Region(trace.KernelSyrk)
 	defer sp.End()
 	trace.AddFlops(trace.KernelSyrk, int64(a.Rows)*int64(n)*int64(n+1))
-	w := parallel.MaxWorkers()
+	w := e.Workers()
 	flops := mulFlops(a.Rows, n, n) // ≈ m·n²
 	if flops < gemmParallelFlops || w == 1 {
 		syrkRange(alpha, a, 0, a.Rows, c)
@@ -58,7 +59,7 @@ func SyrkUpperTrans(alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 			bufs[bi] = buf
 		}
 	}
-	parallel.Do(tasks...)
+	e.Do(tasks...)
 	for _, buf := range bufs {
 		for i := 0; i < n; i++ {
 			crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
@@ -129,8 +130,8 @@ func syrkTile(alpha float64, a *mat.Dense, j0, j1, lo, hi int, dst *mat.Dense) {
 // via SyrkUpperTrans and the lower triangle by mirroring. This is the
 // kernel on line 1 of CholQR (Algorithm 2) and line 3 of Ite-CholQR-CP
 // (Algorithm 4).
-func Gram(w *mat.Dense, a *mat.Dense) {
-	SyrkUpperTrans(1, a, 0, w)
+func Gram(e *parallel.Engine, w *mat.Dense, a *mat.Dense) {
+	SyrkUpperTrans(e, 1, a, 0, w)
 	SymmetrizeFromUpper(w)
 }
 

@@ -19,8 +19,9 @@ func checkTriangular(r *mat.Dense, n int, who string) {
 // is solved independently by forward substitution with contiguous row
 // access on R, and rows are distributed across cores.
 //
-// Panics if R has a zero diagonal entry.
-func TrsmRightUpperNoTrans(b, r *mat.Dense) {
+// Panics if R has a zero diagonal entry. The engine e bounds the parallel
+// width (nil selects the default engine).
+func TrsmRightUpperNoTrans(e *parallel.Engine, b, r *mat.Dense) {
 	n := b.Cols
 	checkTriangular(r, n, "TrsmRightUpperNoTrans")
 	for k := 0; k < n; k++ {
@@ -31,12 +32,12 @@ func TrsmRightUpperNoTrans(b, r *mat.Dense) {
 	sp := trace.Region(trace.KernelTrsm)
 	defer sp.End()
 	trace.AddFlops(trace.KernelTrsm, int64(b.Rows)*int64(n)*int64(n))
-	if mulFlops(b.Rows, n, n) < gemmParallelFlops || parallel.MaxWorkers() == 1 {
+	if mulFlops(b.Rows, n, n) < gemmParallelFlops || e.Workers() == 1 {
 		trsmRightRange(b, r, 0, b.Rows)
 		return
 	}
 	minChunk := gemmParallelFlops / (mulFlops(n, n) + 1)
-	parallel.For(b.Rows, minChunk+1, func(lo, hi int) {
+	e.For(b.Rows, minChunk+1, func(lo, hi int) {
 		trsmRightRange(b, r, lo, hi)
 	})
 }

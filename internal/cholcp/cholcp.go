@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/mat"
 )
@@ -41,14 +42,16 @@ type Result struct {
 // the recommended value for Ite-CholQR-CP is 1e-5). W is not modified.
 //
 // eps = 0 reproduces the paper's "ε = 0" variant, which only stops to
-// avoid outright breakdown (a non-positive pivot diagonal).
-func PCholCP(w *mat.Dense, eps float64) Result {
-	return PCholCPMax(w, eps, w.Rows)
+// avoid outright breakdown (a non-positive pivot diagonal). The engine e
+// bounds the parallel width of the trailing downdates (nil selects the
+// default engine).
+func PCholCP(e *parallel.Engine, w *mat.Dense, eps float64) Result {
+	return PCholCPMax(e, w, eps, w.Rows)
 }
 
 // PCholCPMax is PCholCP with an additional cap on the number of pivots
 // factored, used by truncated QRCP to stop exactly at the requested rank.
-func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
+func PCholCPMax(e *parallel.Engine, w *mat.Dense, eps float64, maxPiv int) Result {
 	if w.Rows != w.Cols {
 		panic(fmt.Sprintf("cholcp: PCholCP on %d×%d", w.Rows, w.Cols))
 	}
@@ -99,16 +102,25 @@ func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
 			rrow[j] = wrow[j] * inv
 		}
 		// Trailing symmetric rank-1 downdate:
-		// W(k+1:, k+1:) −= R(k, k+1:)ᵀ·R(k, k+1:).
-		for i := k + 1; i < n; i++ {
-			ri := rrow[i]
-			if ri == 0 {
-				continue
+		// W(k+1:, k+1:) −= R(k, k+1:)ᵀ·R(k, k+1:). Rows are independent,
+		// so wide trailing blocks fan out across the engine's workers
+		// (bitwise deterministic regardless of the partition).
+		downdate := func(lo, hi int) {
+			for i := k + 1 + lo; i < k+1+hi; i++ {
+				ri := rrow[i]
+				if ri == 0 {
+					continue
+				}
+				wi := work.Data[i*work.Stride : i*work.Stride+n]
+				for j := k + 1; j < n; j++ {
+					wi[j] -= ri * rrow[j]
+				}
 			}
-			wi := work.Data[i*work.Stride : i*work.Stride+n]
-			for j := k + 1; j < n; j++ {
-				wi[j] -= ri * rrow[j]
-			}
+		}
+		if rem := n - k - 1; rem*rem >= downdateParallelElems {
+			e.For(rem, downdateMinRows, downdate)
+		} else {
+			downdate(0, rem)
 		}
 		res.NPiv = k + 1
 	}
@@ -123,8 +135,17 @@ func PCholCPMax(w *mat.Dense, eps float64, maxPiv int) Result {
 
 // CholCP runs the classical Cholesky factorization with complete pivoting
 // (no tolerance): it factors until completion or until positive
-// semidefiniteness is lost to roundoff. Equivalent to PCholCP(w, 0).
-func CholCP(w *mat.Dense) Result { return PCholCP(w, 0) }
+// semidefiniteness is lost to roundoff. Equivalent to PCholCP(e, w, 0).
+func CholCP(e *parallel.Engine, w *mat.Dense) Result { return PCholCP(e, w, 0) }
+
+// downdateParallelElems is the minimum trailing-block element count
+// before the rank-1 downdate fans out across cores, and downdateMinRows
+// the smallest per-worker row grain; below these the dispatch overhead
+// exceeds the memory traffic it hides.
+const (
+	downdateParallelElems = 1 << 15
+	downdateMinRows       = 64
+)
 
 // symSwap applies the symmetric permutation that exchanges index k and p
 // of a full (mirrored) symmetric matrix: rows k,p and columns k,p.

@@ -22,7 +22,7 @@ func gram(rng *rand.Rand, m, n int, colScale func(j int) float64) *mat.Dense {
 		}
 	}
 	w := mat.NewDense(n, n)
-	blas.Gram(w, b)
+	blas.Gram(nil, w, b)
 	return w
 }
 
@@ -45,7 +45,7 @@ func checkFactorization(t *testing.T, w *mat.Dense, res Result) {
 		}
 	}
 	rtr := mat.NewDense(n, n)
-	blas.Gemm(blas.Trans, blas.NoTrans, 1, res.R, res.R, 0, rtr)
+	blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, res.R, res.R, 0, rtr)
 	scale := w.MaxAbs()
 	np := res.NPiv
 	// Leading block and coupling block must match exactly (up to roundoff):
@@ -63,7 +63,7 @@ func TestCholCPFullRank(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for _, n := range []int{1, 2, 5, 20, 64} {
 		w := gram(rng, n+10, n, nil)
-		res := CholCP(w)
+		res := CholCP(nil, w)
 		if res.NPiv != n {
 			t.Fatalf("n=%d: NPiv = %d, want full %d", n, res.NPiv, n)
 		}
@@ -81,7 +81,7 @@ func TestCholCPPivotOrderIsDiagonalGreedy(t *testing.T) {
 	for i, v := range diag {
 		w.Set(i, i, v)
 	}
-	res := CholCP(w)
+	res := CholCP(nil, w)
 	want := mat.Perm{1, 3, 0, 2}
 	for j, v := range want {
 		if res.Perm[j] != v {
@@ -102,7 +102,7 @@ func TestPCholCPToleranceStops(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	n := 10
 	w := gram(rng, 200, n, func(j int) float64 { return math.Pow(10, -float64(j)) })
-	res := PCholCP(w, 1e-3)
+	res := PCholCP(nil, w, 1e-3)
 	if res.NPiv == 0 || res.NPiv >= n {
 		t.Fatalf("NPiv = %d, want partial stop in (0,%d)", res.NPiv, n)
 	}
@@ -155,8 +155,8 @@ func TestPCholCPBreakdown(t *testing.T) {
 		}
 	}
 	w := mat.NewDense(n, n)
-	blas.Gram(w, b)
-	res := PCholCP(w, 0)
+	blas.Gram(nil, w, b)
+	res := PCholCP(nil, w, 0)
 	if res.NPiv < rank {
 		t.Fatalf("NPiv = %d, want ≥ rank %d", res.NPiv, rank)
 	}
@@ -178,7 +178,7 @@ func TestPCholCPBreakdown(t *testing.T) {
 
 func TestPCholCPZeroMatrix(t *testing.T) {
 	w := mat.NewDense(5, 5)
-	res := PCholCP(w, 1e-5)
+	res := PCholCP(nil, w, 1e-5)
 	if res.NPiv != 0 || !res.Breakdown {
 		t.Fatalf("zero matrix: NPiv=%d breakdown=%v, want 0/true", res.NPiv, res.Breakdown)
 	}
@@ -192,7 +192,7 @@ func TestPCholCPDoesNotModifyInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(74))
 	w := gram(rng, 50, 6, nil)
 	orig := w.Clone()
-	PCholCP(w, 1e-5)
+	PCholCP(nil, w, 1e-5)
 	if !mat.EqualApprox(w, orig, 0) {
 		t.Fatal("PCholCP modified its input")
 	}
@@ -200,7 +200,7 @@ func TestPCholCPDoesNotModifyInput(t *testing.T) {
 
 func TestPCholCPMatchesUnpivotedOnIdentityGram(t *testing.T) {
 	// For W = I, no pivoting happens and R = I.
-	res := PCholCP(mat.Identity(6), 1e-5)
+	res := PCholCP(nil, mat.Identity(6), 1e-5)
 	if res.NPiv != 6 {
 		t.Fatalf("NPiv = %d, want 6", res.NPiv)
 	}
@@ -220,7 +220,7 @@ func TestPCholCPNonSquarePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	PCholCP(mat.NewDense(3, 4), 0)
+	PCholCP(nil, mat.NewDense(3, 4), 0)
 }
 
 func TestPCholCPEpsilonMonotone(t *testing.T) {
@@ -230,7 +230,7 @@ func TestPCholCPEpsilonMonotone(t *testing.T) {
 	w := gram(rng, 300, 12, func(j int) float64 { return math.Pow(10, -float64(j)/2) })
 	prev := 0
 	for _, eps := range []float64{1e-1, 1e-3, 1e-6, 1e-12, 0} {
-		res := PCholCP(w, eps)
+		res := PCholCP(nil, w, eps)
 		if res.NPiv < prev {
 			t.Fatalf("NPiv not monotone in ε: eps=%g gives %d < previous %d", eps, res.NPiv, prev)
 		}

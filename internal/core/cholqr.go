@@ -12,12 +12,13 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/mat"
 )
 
 // Unit roundoff of IEEE double precision.
-const unitRoundoff = 2.220446049250313e-16
+const unitRoundoff = mat.Eps
 
 // ErrBreakdown reports that a Cholesky factorization inside a Cholesky-QR
 // algorithm lost positive definiteness — the paper's κ₂(A) ≳ u^(−1/2)
@@ -40,9 +41,9 @@ type QR struct {
 // Both heavy steps are Level-3 and need exactly one reduction in the
 // distributed setting, but the orthogonality of Q degrades like
 // u·κ₂(A)² and the factorization breaks down for κ₂(A) ≳ u^(−1/2).
-func CholQR(a *mat.Dense) (*QR, error) {
+func CholQR(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	q := a.Clone()
-	r, err := cholQRInPlace(q)
+	r, err := cholQRInPlace(e, q)
 	if err != nil {
 		return nil, err
 	}
@@ -56,14 +57,20 @@ func CholQR(a *mat.Dense) (*QR, error) {
 type GramFunc func(dst, a *mat.Dense)
 
 // cholQRInPlace overwrites a with Q and returns R.
-func cholQRInPlace(a *mat.Dense) (*mat.Dense, error) {
-	return CholQRInPlaceGram(a, blas.Gram)
+func cholQRInPlace(e *parallel.Engine, a *mat.Dense) (*mat.Dense, error) {
+	return CholQRInPlaceGram(e, a, defaultGram(e))
+}
+
+// defaultGram adapts the shared-memory Gram kernel to the GramFunc shape,
+// binding it to an engine so the width bound travels with the call.
+func defaultGram(e *parallel.Engine) GramFunc {
+	return func(dst, a *mat.Dense) { blas.Gram(e, dst, a) }
 }
 
 // CholQRInPlaceGram is the CholQR kernel with a pluggable Gram-matrix
 // computation; it overwrites the (local block of) a with Q and returns the
 // replicated R. This is the entry point the distributed driver uses.
-func CholQRInPlaceGram(a *mat.Dense, gram GramFunc) (*mat.Dense, error) {
+func CholQRInPlaceGram(e *parallel.Engine, a *mat.Dense, gram GramFunc) (*mat.Dense, error) {
 	n := a.Cols
 	w := mat.NewDense(n, n)
 	sg := trace.Region(trace.StageGram)
@@ -71,14 +78,14 @@ func CholQRInPlaceGram(a *mat.Dense, gram GramFunc) (*mat.Dense, error) {
 	sg.End()
 	trace.AddFlops(trace.StageGram, 2*int64(a.Rows)*int64(n)*int64(n))
 	sc := trace.Region(trace.StageCholCP)
-	err := lapack.PotrfUpper(w)
+	err := lapack.PotrfUpper(e, w)
 	sc.End()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
 	}
 	lapack.ZeroLower(w)
 	st := trace.Region(trace.StageTrsm)
-	blas.TrsmRightUpperNoTrans(a, w)
+	blas.TrsmRightUpperNoTrans(e, a, w)
 	st.End()
 	trace.AddFlops(trace.StageTrsm, int64(a.Rows)*int64(n)*int64(n))
 	return w, nil
@@ -89,12 +96,12 @@ func CholQRInPlaceGram(a *mat.Dense, gram GramFunc) (*mat.Dense, error) {
 // accumulated R. On breakdown the span of a's columns is unchanged (the
 // first failing pass leaves a untouched; a failure in the second pass
 // leaves the partially orthogonalized block, which spans the same space).
-func CholQR2InPlace(a *mat.Dense) (*mat.Dense, error) {
-	r1, err := cholQRInPlace(a)
+func CholQR2InPlace(e *parallel.Engine, a *mat.Dense) (*mat.Dense, error) {
+	r1, err := cholQRInPlace(e, a)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := cholQRInPlace(a)
+	r2, err := cholQRInPlace(e, a)
 	if err != nil {
 		return nil, err
 	}
@@ -106,13 +113,13 @@ func CholQR2InPlace(a *mat.Dense) (*mat.Dense, error) {
 // reorthogonalization (CholeskyQR2 of Fukaya et al. 2014): two CholQR
 // passes, with R accumulated as R = R₂·R₁. For κ₂(A) ≲ u^(−1/2) the
 // result is as accurate as Householder QR.
-func CholQR2(a *mat.Dense) (*QR, error) {
+func CholQR2(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	q := a.Clone()
-	r1, err := cholQRInPlace(q)
+	r1, err := cholQRInPlace(e, q)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := cholQRInPlace(q)
+	r2, err := cholQRInPlace(e, q)
 	if err != nil {
 		return nil, err
 	}
@@ -135,14 +142,14 @@ const maxShiftedPasses = 8
 // enough, so the preconditioning step repeats (the natural iterated
 // extension of the original shiftedCholeskyQR3). R accumulates across
 // all passes.
-func ShiftedCholQR3(a *mat.Dense) (*QR, error) {
+func ShiftedCholQR3(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	m, n := a.Rows, a.Cols
 	q := a.Clone()
 	rAcc := mat.Identity(n)
 	for pass := 0; pass < maxShiftedPasses; pass++ {
 		// Shifted preconditioning pass: R₁ = chol(QᵀQ + s·I), Q := Q·R₁⁻¹.
 		w := mat.NewDense(n, n)
-		blas.SyrkUpperTrans(1, q, 0, w)
+		blas.SyrkUpperTrans(e, 1, q, 0, w)
 		// ‖A‖₂² ≤ ‖A‖_F² = trace(W), a cheap safe over-estimate.
 		normF2 := 0.0
 		for i := 0; i < n; i++ {
@@ -152,20 +159,20 @@ func ShiftedCholQR3(a *mat.Dense) (*QR, error) {
 		for i := 0; i < n; i++ {
 			w.Set(i, i, w.At(i, i)+shift)
 		}
-		if err := lapack.PotrfUpper(w); err != nil {
+		if err := lapack.PotrfUpper(e, w); err != nil {
 			return nil, fmt.Errorf("%w: shifted pass %d: %v", ErrBreakdown, pass, err)
 		}
 		lapack.ZeroLower(w)
-		blas.TrsmRightUpperNoTrans(q, w)
+		blas.TrsmRightUpperNoTrans(e, q, w)
 		blas.TrmmLeftUpperNoTrans(w, rAcc) // R := R₁·R
 
 		// Try to finish with CholeskyQR2; on breakdown the condition
 		// number is still above u^(−1/2) — precondition again.
-		r2, err := cholQRInPlace(q)
+		r2, err := cholQRInPlace(e, q)
 		if err != nil {
 			continue
 		}
-		r3, err := cholQRInPlace(q)
+		r3, err := cholQRInPlace(e, q)
 		if err != nil {
 			return nil, err
 		}
@@ -179,15 +186,15 @@ func ShiftedCholQR3(a *mat.Dense) (*QR, error) {
 // HouseholderQR computes the thin QR factorization by blocked Householder
 // reflections (DGEQRF + DORGQR) — the conventional, unconditionally stable
 // reference the Cholesky QR family is measured against.
-func HouseholderQR(a *mat.Dense) *QR {
+func HouseholderQR(e *parallel.Engine, a *mat.Dense) *QR {
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: HouseholderQR needs m ≥ n, got %d×%d", a.Rows, a.Cols))
 	}
 	fac := a.Clone()
 	tau := make([]float64, a.Cols)
-	lapack.Geqrf(fac, tau)
+	lapack.Geqrf(e, fac, tau)
 	r := lapack.ExtractR(fac)
-	lapack.Orgqr(fac, tau)
+	lapack.Orgqr(e, fac, tau)
 	return &QR{Q: fac, R: r}
 }
 
@@ -195,7 +202,7 @@ func HouseholderQR(a *mat.Dense) *QR {
 func orthogonality(q *mat.Dense) float64 {
 	n := q.Cols
 	g := mat.NewDense(n, n)
-	blas.Gram(g, q)
+	blas.Gram(nil, g, q)
 	for i := 0; i < n; i++ {
 		g.Set(i, i, g.At(i, i)-1)
 	}

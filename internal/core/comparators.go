@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -25,16 +26,16 @@ const (
 	InnerHouseholder
 )
 
-func runInnerQR(kind InnerQR, a *mat.Dense) (*QR, error) {
+func runInnerQR(e *parallel.Engine, kind InnerQR, a *mat.Dense) (*QR, error) {
 	switch kind {
 	case InnerCholQR2:
-		return CholQR2(a)
+		return CholQR2(e, a)
 	case InnerShiftedCholQR3:
-		return ShiftedCholQR3(a)
+		return ShiftedCholQR3(e, a)
 	case InnerTSQR:
-		return TSQR(a), nil
+		return TSQR(e, a), nil
 	case InnerHouseholder:
-		return HouseholderQR(a), nil
+		return HouseholderQR(e, a), nil
 	default:
 		panic(fmt.Sprintf("core: unknown inner QR kind %d", kind))
 	}
@@ -49,9 +50,9 @@ func runInnerQR(kind InnerQR, a *mat.Dense) (*QR, error) {
 // The structural drawback the paper points out: the *entire* unpivoted
 // QR must finish before the first pivot is known, so — unlike
 // Ite-CholQR-CP — this approach cannot truncate early for low-rank work.
-func QRThenQRCP(a *mat.Dense, inner InnerQR) (*CPResult, error) {
+func QRThenQRCP(e *parallel.Engine, a *mat.Dense, inner InnerQR) (*CPResult, error) {
 	n := a.Cols
-	qr0, err := runInnerQR(inner, a)
+	qr0, err := runInnerQR(e, inner, a)
 	if err != nil {
 		return nil, err
 	}
@@ -59,11 +60,11 @@ func QRThenQRCP(a *mat.Dense, inner InnerQR) (*CPResult, error) {
 	fac := qr0.R.Clone()
 	tau := make([]float64, n)
 	jpvt := make(mat.Perm, n)
-	lapack.Geqp3(fac, tau, jpvt)
+	lapack.Geqp3(e, fac, tau, jpvt)
 	r := lapack.ExtractR(fac)
-	lapack.Orgqr(fac, tau) // fac is now the n×n Q₁
+	lapack.Orgqr(e, fac, tau) // fac is now the n×n Q₁
 	q := mat.NewDense(a.Rows, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, qr0.Q, fac, 0, q)
+	blas.Gemm(e, blas.NoTrans, blas.NoTrans, 1, qr0.Q, fac, 0, q)
 	return &CPResult{Q: q, R: r, Perm: jpvt}, nil
 }
 
@@ -81,7 +82,7 @@ const RandQRCPOversample = 8
 // not guaranteed to match HQR-CP's greedy sequence — the accuracy caveat
 // the paper raises when declining to adopt randomized methods as its
 // baseline.
-func RandQRCP(a *mat.Dense, rng *rand.Rand, inner InnerQR) (*CPResult, error) {
+func RandQRCP(e *parallel.Engine, a *mat.Dense, rng *rand.Rand, inner InnerQR) (*CPResult, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: RandQRCP needs m ≥ n, got %d×%d", m, n))
@@ -97,15 +98,15 @@ func RandQRCP(a *mat.Dense, rng *rand.Rand, inner InnerQR) (*CPResult, error) {
 		omega.Data[i] = scale * rng.NormFloat64()
 	}
 	b := mat.NewDense(d, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, omega, a, 0, b)
+	blas.Gemm(e, blas.NoTrans, blas.NoTrans, 1, omega, a, 0, b)
 	// Pivots from the small sketch.
 	tau := make([]float64, min(d, n))
 	jpvt := make(mat.Perm, n)
-	lapack.Geqp3(b, tau, jpvt)
+	lapack.Geqp3(e, b, tau, jpvt)
 	// One bulk permutation of A, then a fast unpivoted QR.
 	ap := mat.NewDense(m, n)
 	mat.PermuteCols(ap, a, jpvt)
-	qr, err := runInnerQR(inner, ap)
+	qr, err := runInnerQR(e, inner, ap)
 	if err != nil {
 		return nil, err
 	}

@@ -19,7 +19,7 @@ func TestTSQRMatchesHouseholder(t *testing.T) {
 		{4097, 33}, // odd row count
 	} {
 		a := testmat.GenerateWellConditioned(rng, sh.m, sh.n, 1e6)
-		qr := TSQR(a)
+		qr := TSQR(nil, a)
 		if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
 			t.Fatalf("%dx%d: orthogonality %g", sh.m, sh.n, e)
 		}
@@ -37,17 +37,17 @@ func TestTSQRIllConditioned(t *testing.T) {
 	// breaks down.
 	rng := rand.New(rand.NewSource(162))
 	a := testmat.GenerateWellConditioned(rng, 6000, 12, 1e14)
-	if _, err := CholQR2(a); err == nil {
+	if _, err := CholQR2(nil, a); err == nil {
 		t.Log("CholQR2 survived 1e14 (unusual but possible); continuing")
 	}
-	qr := TSQR(a)
+	qr := TSQR(nil, a)
 	if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
 		t.Fatalf("TSQR orthogonality %g at κ=1e14", e)
 	}
 }
 
 func TestTSQRPanicsOnWide(t *testing.T) {
-	mustPanicC(t, func() { TSQR(mat.NewDense(3, 5)) })
+	mustPanicC(t, func() { TSQR(nil, mat.NewDense(3, 5)) })
 }
 
 func TestQRThenQRCPMatchesHQRCPPivots(t *testing.T) {
@@ -58,8 +58,8 @@ func TestQRThenQRCPMatchesHQRCPPivots(t *testing.T) {
 	// the rank-deficient case is covered by the robust-inner test below.
 	for _, inner := range []InnerQR{InnerCholQR2, InnerTSQR, InnerHouseholder} {
 		a := testmat.Generate(rng, 2000, 24, 24, 1e-6)
-		ref := HQRCP(a)
-		res, err := QRThenQRCP(a, inner)
+		ref := HQRCP(nil, a)
+		res, err := QRThenQRCP(nil, a, inner)
 		if err != nil {
 			t.Fatalf("inner=%d: %v", inner, err)
 		}
@@ -74,12 +74,12 @@ func TestQRThenQRCPIllConditionedNeedsRobustInner(t *testing.T) {
 	rng := rand.New(rand.NewSource(164))
 	a := testmat.Generate(rng, 3000, 16, 16, 1e-13)
 	// CholQR2 inner breaks down...
-	if _, err := QRThenQRCP(a, InnerCholQR2); err == nil {
+	if _, err := QRThenQRCP(nil, a, InnerCholQR2); err == nil {
 		t.Log("CholQR2 inner unexpectedly survived κ=1e13")
 	}
 	// ...shifted CholQR3 and TSQR handle it.
 	for _, inner := range []InnerQR{InnerShiftedCholQR3, InnerTSQR} {
-		res, err := QRThenQRCP(a, inner)
+		res, err := QRThenQRCP(nil, a, inner)
 		if err != nil {
 			t.Fatalf("inner=%d: %v", inner, err)
 		}
@@ -94,7 +94,7 @@ func TestRandQRCPLowRankQuality(t *testing.T) {
 	rng := rand.New(rand.NewSource(165))
 	m, n, r := 3000, 24, 10
 	a := testmat.Generate(rng, m, n, r, 1e-3)
-	res, err := RandQRCP(a, rng, InnerHouseholder)
+	res, err := RandQRCP(nil, a, rng, InnerHouseholder)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestRandQRCPSmallMatrix(t *testing.T) {
 	// d = n + oversample capped at m.
 	rng := rand.New(rand.NewSource(166))
 	a := testmat.GenerateWellConditioned(rng, 10, 8, 100)
-	res, err := RandQRCP(a, rng, InnerHouseholder)
+	res, err := RandQRCP(nil, a, rng, InnerHouseholder)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,18 +130,18 @@ func TestRandQRCPSmallMatrix(t *testing.T) {
 
 func TestRandQRCPPanicsOnWide(t *testing.T) {
 	rng := rand.New(rand.NewSource(167))
-	mustPanicC(t, func() { RandQRCP(mat.NewDense(3, 5), rng, InnerHouseholder) }) //nolint:errcheck
+	mustPanicC(t, func() { RandQRCP(nil, mat.NewDense(3, 5), rng, InnerHouseholder) }) //nolint:errcheck
 }
 
 func TestRunInnerQRUnknownPanics(t *testing.T) {
-	mustPanicC(t, func() { runInnerQR(InnerQR(99), mat.NewDense(4, 2)) }) //nolint:errcheck
+	mustPanicC(t, func() { runInnerQR(nil, InnerQR(99), mat.NewDense(4, 2)) }) //nolint:errcheck
 }
 
 func TestLUCholQR2(t *testing.T) {
 	rng := rand.New(rand.NewSource(168))
 	for _, cond := range []float64{1e2, 1e8, 1e13} {
 		a := testmat.GenerateWellConditioned(rng, 800, 20, cond)
-		qr, err := LUCholQR2(a)
+		qr, err := LUCholQR2(nil, a)
 		if err != nil {
 			t.Fatalf("κ=%g: %v", cond, err)
 		}
@@ -159,17 +159,17 @@ func TestLUCholQR2(t *testing.T) {
 
 func TestLUCholQR2ExactlySingular(t *testing.T) {
 	a := mat.NewDense(10, 3)
-	if _, err := LUCholQR2(a); err == nil {
+	if _, err := LUCholQR2(nil, a); err == nil {
 		t.Fatal("zero matrix must error")
 	}
-	mustPanicC(t, func() { LUCholQR2(mat.NewDense(2, 5)) }) //nolint:errcheck
+	mustPanicC(t, func() { LUCholQR2(nil, mat.NewDense(2, 5)) }) //nolint:errcheck
 }
 
 func TestRandCholQR(t *testing.T) {
 	rng := rand.New(rand.NewSource(169))
 	for _, cond := range []float64{1e2, 1e9, 1e13} {
 		a := testmat.GenerateWellConditioned(rng, 1200, 16, cond)
-		qr, err := RandCholQR(a, rng)
+		qr, err := RandCholQR(nil, a, rng)
 		if err != nil {
 			t.Fatalf("κ=%g: %v", cond, err)
 		}
@@ -189,12 +189,12 @@ func TestRandCholQRSmallM(t *testing.T) {
 	// d = 2n capped at m.
 	rng := rand.New(rand.NewSource(170))
 	a := testmat.GenerateWellConditioned(rng, 12, 10, 100)
-	qr, err := RandCholQR(a, rng)
+	qr, err := RandCholQR(nil, a, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e := metrics.Orthogonality(qr.Q); e > 1e-13 {
 		t.Fatalf("orthogonality %g", e)
 	}
-	mustPanicC(t, func() { RandCholQR(mat.NewDense(3, 5), rng) }) //nolint:errcheck
+	mustPanicC(t, func() { RandCholQR(nil, mat.NewDense(3, 5), rng) }) //nolint:errcheck
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -12,19 +13,19 @@ import (
 // blocked BLAS-3 variant (DGEQP3 structure) followed by explicit formation
 // of Q (DORGQR). This is the single-node baseline of the paper's
 // evaluation.
-func HQRCP(a *mat.Dense) *CPResult {
-	return hqrcp(a, lapack.Geqp3)
+func HQRCP(e *parallel.Engine, a *mat.Dense) *CPResult {
+	return hqrcp(e, a, lapack.Geqp3)
 }
 
 // HQRCPUnblocked is HQRCP with the unblocked Level-2 factorization
 // (DGEQPF structure). It selects identical pivots; only the blocking of
 // the trailing-matrix updates differs. Kept for the blocked-vs-unblocked
 // ablation benchmark.
-func HQRCPUnblocked(a *mat.Dense) *CPResult {
-	return hqrcp(a, lapack.Geqpf)
+func HQRCPUnblocked(e *parallel.Engine, a *mat.Dense) *CPResult {
+	return hqrcp(e, a, lapack.Geqpf)
 }
 
-func hqrcp(a *mat.Dense, factor func(*mat.Dense, []float64, mat.Perm)) *CPResult {
+func hqrcp(e *parallel.Engine, a *mat.Dense, factor func(*parallel.Engine, *mat.Dense, []float64, mat.Perm)) *CPResult {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: HQRCP needs a tall matrix, got %d×%d", m, n))
@@ -32,21 +33,21 @@ func hqrcp(a *mat.Dense, factor func(*mat.Dense, []float64, mat.Perm)) *CPResult
 	fac := a.Clone()
 	tau := make([]float64, n)
 	jpvt := make(mat.Perm, n)
-	factor(fac, tau, jpvt)
+	factor(e, fac, tau, jpvt)
 	r := lapack.ExtractR(fac)
-	lapack.Orgqr(fac, tau)
+	lapack.Orgqr(e, fac, tau)
 	return &CPResult{Q: fac, R: r, Perm: jpvt}
 }
 
 // HQRCPNoQ runs the pivoted factorization without forming Q explicitly —
 // for the applications the paper mentions where only R and P are needed.
 // The returned CPResult has Q == nil.
-func HQRCPNoQ(a *mat.Dense) *CPResult {
+func HQRCPNoQ(e *parallel.Engine, a *mat.Dense) *CPResult {
 	fac := a.Clone()
 	n := a.Cols
 	tau := make([]float64, min(a.Rows, n))
 	jpvt := make(mat.Perm, n)
-	lapack.Geqp3(fac, tau, jpvt)
+	lapack.Geqp3(e, fac, tau, jpvt)
 	var r *mat.Dense
 	if a.Rows >= n {
 		r = lapack.ExtractR(fac)
@@ -58,7 +59,7 @@ func HQRCPNoQ(a *mat.Dense) *CPResult {
 // A·P ≈ Q₁·R₁ (Q₁ m×k, R₁ k×n) by stopping DGEQP3 after k pivots — the
 // conventional-baseline counterpart of IteCholQRCPPartial for the
 // low-rank comparison of §V.
-func HQRCPTruncated(a *mat.Dense, k int) *PartialResult {
+func HQRCPTruncated(e *parallel.Engine, a *mat.Dense, k int) *PartialResult {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: HQRCPTruncated needs a tall matrix, got %d×%d", m, n))
@@ -69,13 +70,13 @@ func HQRCPTruncated(a *mat.Dense, k int) *PartialResult {
 	fac := a.Clone()
 	tau := make([]float64, k)
 	jpvt := make(mat.Perm, n)
-	lapack.Geqp3Partial(fac, tau, jpvt, k)
+	lapack.Geqp3Partial(e, fac, tau, jpvt, k)
 	r1 := mat.NewDense(k, n)
 	for i := 0; i < k; i++ {
 		copy(r1.Data[i*r1.Stride+i:i*r1.Stride+n], fac.Data[i*fac.Stride+i:i*fac.Stride+n])
 	}
 	q1 := fac.Slice(0, m, 0, k).Clone()
-	lapack.Orgqr(q1, tau)
+	lapack.Orgqr(e, q1, tau)
 	return &PartialResult{Q: q1, R: r1, Perm: jpvt, Rank: k}
 }
 

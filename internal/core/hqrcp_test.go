@@ -13,7 +13,7 @@ func TestHQRCPContract(t *testing.T) {
 	rng := rand.New(rand.NewSource(121))
 	for _, sigma := range []float64{1e-3, 1e-12} {
 		a := testmat.Generate(rng, 300, 24, 20, sigma)
-		res := HQRCP(a)
+		res := HQRCP(nil, a)
 		checkCP(t, "hqrcp", a, res, 1e-13, 1e-13)
 	}
 }
@@ -26,8 +26,8 @@ func TestHQRCPBlockedMatchesUnblocked(t *testing.T) {
 	rng := rand.New(rand.NewSource(122))
 	const r = 33
 	a := testmat.Generate(rng, 250, 40, r, 1e-8)
-	b := HQRCP(a)
-	u := HQRCPUnblocked(a)
+	b := HQRCP(nil, a)
+	u := HQRCPUnblocked(nil, a)
 	for j := 0; j < r; j++ {
 		if b.Perm[j] != u.Perm[j] {
 			t.Fatalf("blocked vs unblocked pivots differ at %d (< rank %d): %v vs %v",
@@ -44,8 +44,8 @@ func TestHQRCPBlockedMatchesUnblocked(t *testing.T) {
 func TestHQRCPNoQ(t *testing.T) {
 	rng := rand.New(rand.NewSource(123))
 	a := testmat.Generate(rng, 150, 12, 10, 1e-6)
-	full := HQRCP(a)
-	noq := HQRCPNoQ(a)
+	full := HQRCP(nil, a)
+	noq := HQRCPNoQ(nil, a)
 	if noq.Q != nil {
 		t.Fatal("HQRCPNoQ must not form Q")
 	}
@@ -71,7 +71,7 @@ func TestHQRCPPivotsAreNormGreedy(t *testing.T) {
 	for i := 0; i < m; i++ {
 		a.Set(i, 4, 100*a.At(i, 4))
 	}
-	res := HQRCP(a)
+	res := HQRCP(nil, a)
 	if res.Perm[0] != 4 {
 		t.Fatalf("first pivot %d, want 4", res.Perm[0])
 	}
@@ -81,7 +81,7 @@ func TestHQRCPRankRevealing(t *testing.T) {
 	rng := rand.New(rand.NewSource(125))
 	m, n, r := 400, 20, 12
 	a := testmat.Generate(rng, m, n, r, 1e-4)
-	res := HQRCP(a)
+	res := HQRCP(nil, a)
 	// κ₂(R₁₁) ≈ 1/σ = 1e4 and ‖R₂₂‖₂ tiny.
 	c := metrics.CondR11(res.R, r)
 	if c > 1e5 {
@@ -93,14 +93,14 @@ func TestHQRCPRankRevealing(t *testing.T) {
 }
 
 func TestHQRCPPanicsOnWide(t *testing.T) {
-	mustPanicC(t, func() { HQRCP(mat.NewDense(3, 5)) })
+	mustPanicC(t, func() { HQRCP(nil, mat.NewDense(3, 5)) })
 }
 
 func TestHQRCPTruncated(t *testing.T) {
 	rng := rand.New(rand.NewSource(126))
 	m, n, r := 300, 20, 8
 	a := testmat.Generate(rng, m, n, r, 1e-2)
-	res := HQRCPTruncated(a, r)
+	res := HQRCPTruncated(nil, a, r)
 	if res.Rank != r || res.Q.Cols != r || res.R.Rows != r {
 		t.Fatalf("shape: rank=%d Q %d×%d R %d×%d", res.Rank, res.Q.Rows, res.Q.Cols, res.R.Rows, res.R.Cols)
 	}
@@ -124,7 +124,7 @@ func TestHQRCPTruncated(t *testing.T) {
 		t.Fatalf("truncated residual %g", rel)
 	}
 	// Pivots must match the full factorization's prefix.
-	full := HQRCPNoQ(a)
+	full := HQRCPNoQ(nil, a)
 	for j := 0; j < r; j++ {
 		if res.Perm[j] != full.Perm[j] {
 			t.Fatalf("truncated pivots diverge from full at %d", j)
@@ -135,8 +135,8 @@ func TestHQRCPTruncated(t *testing.T) {
 func TestHQRCPTruncatedMatchesIteTruncatedPivots(t *testing.T) {
 	rng := rand.New(rand.NewSource(127))
 	a := testmat.Generate(rng, 400, 24, 20, 1e-8)
-	h := HQRCPTruncated(a, 10)
-	ite, err := IteCholQRCPPartial(a, DefaultPivotTol, 10)
+	h := HQRCPTruncated(nil, a, 10)
+	ite, err := IteCholQRCPPartial(nil, a, DefaultPivotTol, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +149,7 @@ func TestHQRCPTruncatedMatchesIteTruncatedPivots(t *testing.T) {
 
 func TestHQRCPTruncatedPanics(t *testing.T) {
 	a := mat.NewDense(10, 5)
-	mustPanicC(t, func() { HQRCPTruncated(a, 0) })
-	mustPanicC(t, func() { HQRCPTruncated(a, 6) })
-	mustPanicC(t, func() { HQRCPTruncated(mat.NewDense(3, 5), 2) })
+	mustPanicC(t, func() { HQRCPTruncated(nil, a, 0) })
+	mustPanicC(t, func() { HQRCPTruncated(nil, a, 6) })
+	mustPanicC(t, func() { HQRCPTruncated(nil, mat.NewDense(3, 5), 2) })
 }

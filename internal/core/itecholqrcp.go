@@ -7,6 +7,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/cholcp"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/mat"
 )
@@ -58,11 +59,11 @@ type CPResult struct {
 // trustworthy pivots, and applies the inverse of the combined triangular
 // factor to A (one TRSM). After all n pivots are fixed, one plain CholQR
 // pass reorthogonalizes the result, exactly as in CholeskyQR2.
-func IteCholQRCP(a *mat.Dense, eps float64) (*CPResult, error) {
+func IteCholQRCP(e *parallel.Engine, a *mat.Dense, eps float64) (*CPResult, error) {
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: IteCholQRCP needs a tall matrix, got %d×%d", a.Rows, a.Cols))
 	}
-	return iteCholQRCP(a, eps, DefaultMaxIterations, nil, blas.Gram)
+	return iteCholQRCP(e, a, eps, DefaultMaxIterations, nil, defaultGram(e))
 }
 
 // IteCholQRCPGram runs Algorithm 4 with a pluggable Gram computation and
@@ -70,8 +71,8 @@ func IteCholQRCP(a *mat.Dense, eps float64) (*CPResult, error) {
 // step (P-Chol-CP, triangular assembly, permutation accumulation) is
 // deterministic, so all ranks stay in lockstep as long as gram returns
 // identical bits everywhere — which an Allreduce guarantees.
-func IteCholQRCPGram(a *mat.Dense, eps float64, gram GramFunc, trace IterTrace) (*CPResult, error) {
-	return iteCholQRCP(a, eps, DefaultMaxIterations, trace, gram)
+func IteCholQRCPGram(e *parallel.Engine, a *mat.Dense, eps float64, gram GramFunc, trace IterTrace) (*CPResult, error) {
+	return iteCholQRCP(e, a, eps, DefaultMaxIterations, trace, gram)
 }
 
 // IterTrace receives per-iteration state for instrumentation (used by the
@@ -81,14 +82,14 @@ func IteCholQRCPGram(a *mat.Dense, eps float64, gram GramFunc, trace IterTrace) 
 type IterTrace func(iter, newPivots int, perm mat.Perm)
 
 // IteCholQRCPTraced is IteCholQRCP with a per-iteration callback.
-func IteCholQRCPTraced(a *mat.Dense, eps float64, trace IterTrace) (*CPResult, error) {
+func IteCholQRCPTraced(e *parallel.Engine, a *mat.Dense, eps float64, trace IterTrace) (*CPResult, error) {
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: IteCholQRCP needs a tall matrix, got %d×%d", a.Rows, a.Cols))
 	}
-	return iteCholQRCP(a, eps, DefaultMaxIterations, trace, blas.Gram)
+	return iteCholQRCP(e, a, eps, DefaultMaxIterations, trace, defaultGram(e))
 }
 
-func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram GramFunc) (*CPResult, error) {
+func iteCholQRCP(e *parallel.Engine, a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram GramFunc) (*CPResult, error) {
 	m, n := a.Rows, a.Cols
 	if eps < 0 || eps >= 1 {
 		panic(fmt.Sprintf("core: IteCholQRCP tolerance %g outside [0,1)", eps))
@@ -105,6 +106,11 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram 
 		if iter >= maxIter {
 			return nil, ErrStall
 		}
+		// Cooperative cancellation: give up between iterations, never
+		// inside a kernel.
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
 		trace.Inc(trace.CtrIterations)
 		// Line 3: W := AᵀA.
 		sg := trace.Region(trace.StageGram)
@@ -120,7 +126,7 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram 
 			// Lines 4–6: factor the fixed block and eliminate coupling.
 			r11 := rp.Slice(0, k, 0, k)
 			r11.Copy(w.Slice(0, k, 0, k))
-			if err := lapack.PotrfUpper(r11); err != nil {
+			if err := lapack.PotrfUpper(e, r11); err != nil {
 				sc.End()
 				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
 			}
@@ -130,11 +136,11 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram 
 			blas.TrsmLeftUpperTrans(r11, r12) // R₁₂ := R₁₁⁻ᵀ·W₁₂
 			// W̃₂₂ := W₂₂ − R₁₂ᵀ·R₁₂ (Schur complement of the fixed block).
 			w22 := w.Slice(k, n, k, n)
-			blas.Gemm(blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
+			blas.Gemm(e, blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
 		}
 
 		// Line 7: P-Chol-CP on the trailing Schur complement.
-		pres := cholcp.PCholCP(w.Slice(k, n, k, n), eps)
+		pres := cholcp.PCholCP(e, w.Slice(k, n, k, n), eps)
 		sc.End()
 		kNew := pres.NPiv
 		if kNew == 0 {
@@ -153,7 +159,7 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram 
 
 		// Line 11: A := A·R′⁻¹.
 		st := trace.Region(trace.StageTrsm)
-		blas.TrsmRightUpperNoTrans(aw, rp)
+		blas.TrsmRightUpperNoTrans(e, aw, rp)
 		st.End()
 		trace.AddFlops(trace.StageTrsm, int64(m)*int64(n)*int64(n))
 
@@ -183,7 +189,10 @@ func iteCholQRCP(a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram 
 
 	// Line 17: reorthogonalization by one plain CholQR pass (its Gram,
 	// Cholesky, and TRSM phases are attributed inside CholQRInPlaceGram).
-	rre, err := CholQRInPlaceGram(aw, gram)
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	rre, err := CholQRInPlaceGram(e, aw, gram)
 	if err != nil {
 		return nil, err
 	}

@@ -31,7 +31,7 @@ func checkCP(t *testing.T, name string, a *mat.Dense, res *CPResult, orthTol, re
 func TestIteCholQRCPWellConditioned(t *testing.T) {
 	rng := rand.New(rand.NewSource(111))
 	a := testmat.GenerateWellConditioned(rng, 200, 20, 100)
-	res, err := IteCholQRCP(a, DefaultPivotTol)
+	res, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,8 +49,8 @@ func TestIteCholQRCPMatchesHQRCPPivots(t *testing.T) {
 	m, n, r := 800, 25, 20
 	for _, sigma := range []float64{1e-2, 1e-6, 1e-10, 1e-14} {
 		a := testmat.Generate(rng, m, n, r, sigma)
-		ref := HQRCP(a)
-		res, err := IteCholQRCP(a, DefaultPivotTol)
+		ref := HQRCP(nil, a)
+		res, err := IteCholQRCP(nil, a, DefaultPivotTol)
 		if err != nil {
 			t.Fatalf("σ=%g: %v", sigma, err)
 		}
@@ -70,8 +70,8 @@ func TestIteCholQRCPEps0UnstableForIllConditioned(t *testing.T) {
 	diverged := false
 	for _, sigma := range []float64{1e-10, 1e-12, 1e-14} {
 		a := testmat.Generate(rng, m, n, r, sigma)
-		ref := HQRCP(a)
-		res, err := IteCholQRCP(a, 0)
+		ref := HQRCP(nil, a)
+		res, err := IteCholQRCP(nil, a, 0)
 		if err != nil {
 			// Breakdown also demonstrates the instability; accept it.
 			diverged = true
@@ -92,7 +92,7 @@ func TestIteCholQRCPAccuracySweep(t *testing.T) {
 	m, n, r := 500, 30, 24
 	for _, sigma := range []float64{1e-2, 1e-8, 1e-14} {
 		a := testmat.Generate(rng, m, n, r, sigma)
-		res, err := IteCholQRCP(a, DefaultPivotTol)
+		res, err := IteCholQRCP(nil, a, DefaultPivotTol)
 		if err != nil {
 			t.Fatalf("σ=%g: %v", sigma, err)
 		}
@@ -115,7 +115,7 @@ func TestIteCholQRCPIterationCount(t *testing.T) {
 	// pivoting completes in 3 iterations.
 	rng := rand.New(rand.NewSource(115))
 	a := testmat.Generate(rng, 1000, 32, 26, 1e-12)
-	res, err := IteCholQRCP(a, 1e-5)
+	res, err := IteCholQRCP(nil, a, 1e-5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestIteCholQRCPTrace(t *testing.T) {
 	a := testmat.Generate(rng, 300, 16, 13, 1e-12)
 	var iters []int
 	var counts []int
-	res, err := IteCholQRCPTraced(a, 1e-5, func(it, kNew int, perm mat.Perm) {
+	res, err := IteCholQRCPTraced(nil, a, 1e-5, func(it, kNew int, perm mat.Perm) {
 		iters = append(iters, it)
 		counts = append(counts, kNew)
 		if !perm.IsValid() {
@@ -166,8 +166,8 @@ func TestIteCholQRCPFullRankNoGap(t *testing.T) {
 	// n = r (no trailing roundoff directions), moderately conditioned.
 	rng := rand.New(rand.NewSource(117))
 	a := testmat.Generate(rng, 400, 24, 24, 1e-9)
-	ref := HQRCP(a)
-	res, err := IteCholQRCP(a, DefaultPivotTol)
+	ref := HQRCP(nil, a)
+	res, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestIteCholQRCPSingleColumn(t *testing.T) {
 	for i := range a.Data {
 		a.Data[i] = rng.NormFloat64()
 	}
-	res, err := IteCholQRCP(a, DefaultPivotTol)
+	res, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,23 +195,23 @@ func TestIteCholQRCPSingleColumn(t *testing.T) {
 
 func TestIteCholQRCPZeroMatrixStalls(t *testing.T) {
 	a := mat.NewDense(20, 3)
-	_, err := IteCholQRCP(a, DefaultPivotTol)
+	_, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if !errors.Is(err, ErrStall) {
 		t.Fatalf("zero matrix: err = %v, want ErrStall", err)
 	}
 }
 
 func TestIteCholQRCPPanics(t *testing.T) {
-	mustPanicC(t, func() { IteCholQRCP(mat.NewDense(3, 5), 1e-5) }) //nolint:errcheck
-	mustPanicC(t, func() { IteCholQRCP(mat.NewDense(5, 3), 1.5) })  //nolint:errcheck
-	mustPanicC(t, func() { IteCholQRCP(mat.NewDense(5, 3), -1) })   //nolint:errcheck
+	mustPanicC(t, func() { IteCholQRCP(nil, mat.NewDense(3, 5), 1e-5) }) //nolint:errcheck
+	mustPanicC(t, func() { IteCholQRCP(nil, mat.NewDense(5, 3), 1.5) })  //nolint:errcheck
+	mustPanicC(t, func() { IteCholQRCP(nil, mat.NewDense(5, 3), -1) })   //nolint:errcheck
 }
 
 func TestIteCholQRCPDoesNotModifyInput(t *testing.T) {
 	rng := rand.New(rand.NewSource(119))
 	a := testmat.Generate(rng, 100, 8, 6, 1e-6)
 	orig := a.Clone()
-	if _, err := IteCholQRCP(a, DefaultPivotTol); err != nil {
+	if _, err := IteCholQRCP(nil, a, DefaultPivotTol); err != nil {
 		t.Fatal(err)
 	}
 	if !mat.EqualApprox(a, orig, 0) {
@@ -224,7 +224,7 @@ func TestIteCholQRCPDiagonalDecreasing(t *testing.T) {
 	// for any greedy column-pivoted QR.
 	rng := rand.New(rand.NewSource(120))
 	a := testmat.Generate(rng, 600, 20, 16, 1e-10)
-	res, err := IteCholQRCP(a, DefaultPivotTol)
+	res, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,11 +252,11 @@ func TestIteCholQRCPNaNInputFailsCleanly(t *testing.T) {
 	rng := rand.New(rand.NewSource(128))
 	a := testmat.GenerateWellConditioned(rng, 100, 8, 10)
 	a.Set(50, 3, math.NaN())
-	if _, err := IteCholQRCP(a, DefaultPivotTol); err == nil {
+	if _, err := IteCholQRCP(nil, a, DefaultPivotTol); err == nil {
 		t.Fatal("NaN input must error")
 	}
 	a.Set(50, 3, math.Inf(1))
-	if _, err := IteCholQRCP(a, DefaultPivotTol); err == nil {
+	if _, err := IteCholQRCP(nil, a, DefaultPivotTol); err == nil {
 		t.Fatal("Inf input must error")
 	}
 }
@@ -277,11 +277,11 @@ func TestIteCholQRCPTiesAreDeterministic(t *testing.T) {
 		a.Set(i, 4, rng.NormFloat64())
 		a.Set(i, 5, 0.25*rng.NormFloat64())
 	}
-	r1, err := IteCholQRCP(a, DefaultPivotTol)
+	r1, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := IteCholQRCP(a, DefaultPivotTol)
+	r2, err := IteCholQRCP(nil, a, DefaultPivotTol)
 	if err != nil {
 		t.Fatal(err)
 	}

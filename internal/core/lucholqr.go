@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -21,19 +22,19 @@ import (
 // Like ShiftedCholQR3 this handles matrices far beyond the κ₂ ≈ u^(−1/2)
 // breakdown point of plain Cholesky QR, trading the shifted passes for
 // one LU factorization.
-func LUCholQR2(a *mat.Dense) (*QR, error) {
+func LUCholQR2(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: LUCholQR2 needs m ≥ n, got %d×%d", m, n))
 	}
 	fac := a.Clone()
 	ipiv := make([]int, n)
-	if err := lapack.Getrf(fac, ipiv); err != nil {
+	if err := lapack.Getrf(e, fac, ipiv); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
 	}
 	l, u := lapack.ExtractLU(fac)
 	// Cholesky QR of the well-conditioned L.
-	rl, err := cholQRInPlace(l)
+	rl, err := cholQRInPlace(e, l)
 	if err != nil {
 		return nil, err
 	}
@@ -42,7 +43,7 @@ func LUCholQR2(a *mat.Dense) (*QR, error) {
 	// R := R_L·U.
 	blas.TrmmLeftUpperNoTrans(rl, u)
 	// Reorthogonalization pass (the "2" in LU-CholeskyQR2).
-	r2, err := cholQRInPlace(l)
+	r2, err := cholQRInPlace(e, l)
 	if err != nil {
 		return nil, err
 	}

@@ -19,25 +19,25 @@ import (
 // limited by single-precision roundoff, ‖QᵀQ−I‖ ≈ u₃₂·κ₂(A)² with
 // u₃₂ ≈ 6e-8, and breakdown moves in to κ₂(A) ≳ u₃₂^(−1/2) ≈ 4000. The
 // ablation benchmark contrasts this against full double precision.
-func CholQRMixed(a *mat.Dense) (*QR, error) {
+func CholQRMixed(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: CholQRMixed needs m ≥ n, got %d×%d", m, n))
 	}
-	w := gramSingle(a)
-	if err := lapack.PotrfUpper(w); err != nil {
+	w := gramSingle(e, a)
+	if err := lapack.PotrfUpper(e, w); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
 	}
 	lapack.ZeroLower(w)
 	q := a.Clone()
 	// The triangular solve stays in double precision.
-	blas.TrsmRightUpperNoTrans(q, w)
+	blas.TrsmRightUpperNoTrans(e, q, w)
 	return &QR{Q: q, R: w}, nil
 }
 
 // gramSingle computes W = AᵀA with float32 inputs and accumulation,
 // widening only the final result to float64.
-func gramSingle(a *mat.Dense) *mat.Dense {
+func gramSingle(e *parallel.Engine, a *mat.Dense) *mat.Dense {
 	m, n := a.Rows, a.Cols
 	// Demote A once.
 	a32 := make([]float32, m*n)
@@ -50,7 +50,7 @@ func gramSingle(a *mat.Dense) *mat.Dense {
 	acc := make([]float32, n*n)
 	var mu = make(chan struct{}, 1)
 	mu <- struct{}{}
-	parallel.For(m, 256, func(lo, hi int) {
+	e.For(m, 256, func(lo, hi int) {
 		local := make([]float32, n*n)
 		for l := lo; l < hi; l++ {
 			row := a32[l*n : (l+1)*n]

@@ -12,7 +12,7 @@ import (
 func TestCholQRMixedWellConditioned(t *testing.T) {
 	rng := rand.New(rand.NewSource(231))
 	a := testmat.GenerateWellConditioned(rng, 2000, 16, 10)
-	qr, err := CholQRMixed(a)
+	qr, err := CholQRMixed(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +36,10 @@ func TestCholQRMixedBreaksDownEarlier(t *testing.T) {
 	// fp32 breakdown point u₃₂^(−1/2) ≈ 4e3.
 	rng := rand.New(rand.NewSource(232))
 	a := testmat.GenerateWellConditioned(rng, 1000, 12, 1e6)
-	if _, err := CholQR(a); err != nil {
+	if _, err := CholQR(nil, a); err != nil {
 		t.Fatalf("double-precision CholQR should handle κ=1e6: %v", err)
 	}
-	if _, err := CholQRMixed(a); err == nil {
+	if _, err := CholQRMixed(nil, a); err == nil {
 		t.Fatal("fp32-Gram CholQR should break down at κ=1e6")
 	}
 }
@@ -47,11 +47,11 @@ func TestCholQRMixedBreaksDownEarlier(t *testing.T) {
 func TestCholQRMixedOrthogonalityGapVsDouble(t *testing.T) {
 	rng := rand.New(rand.NewSource(233))
 	a := testmat.GenerateWellConditioned(rng, 3000, 20, 50)
-	mixed, err := CholQRMixed(a)
+	mixed, err := CholQRMixed(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	double, err := CholQR(a)
+	double, err := CholQR(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,5 +63,5 @@ func TestCholQRMixedOrthogonalityGapVsDouble(t *testing.T) {
 }
 
 func TestCholQRMixedPanicsOnWide(t *testing.T) {
-	mustPanicC(t, func() { CholQRMixed(mat.NewDense(3, 5)) }) //nolint:errcheck
+	mustPanicC(t, func() { CholQRMixed(nil, mat.NewDense(3, 5)) }) //nolint:errcheck
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/cholcp"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -33,17 +34,17 @@ type PartialResult struct {
 // are fixed or the remaining columns fall below the pivot tolerance, then
 // reorthogonalizes only the leading block — a truncated QRCP. Pass
 // targetRank = n for a full factorization via this code path.
-func IteCholQRCPPartial(a *mat.Dense, eps float64, targetRank int) (*PartialResult, error) {
+func IteCholQRCPPartial(e *parallel.Engine, a *mat.Dense, eps float64, targetRank int) (*PartialResult, error) {
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: IteCholQRCPPartial needs a tall matrix, got %d×%d", a.Rows, a.Cols))
 	}
-	return IteCholQRCPPartialGram(a, eps, targetRank, blas.Gram)
+	return IteCholQRCPPartialGram(e, a, eps, targetRank, defaultGram(e))
 }
 
 // IteCholQRCPPartialGram is the truncated factorization with a pluggable
 // Gram computation; with an Allreduce-backed gram it runs on the local
 // row block of a distributed matrix (see dist.IteCholQRCPTruncated).
-func IteCholQRCPPartialGram(a *mat.Dense, eps float64, targetRank int, gram GramFunc) (*PartialResult, error) {
+func IteCholQRCPPartialGram(e *parallel.Engine, a *mat.Dense, eps float64, targetRank int, gram GramFunc) (*PartialResult, error) {
 	m, n := a.Rows, a.Cols
 	if targetRank < 1 || targetRank > n {
 		panic(fmt.Sprintf("core: target rank %d outside [1,%d]", targetRank, n))
@@ -62,12 +63,16 @@ func IteCholQRCPPartialGram(a *mat.Dense, eps float64, targetRank int, gram Gram
 		if iters >= DefaultMaxIterations {
 			return nil, ErrStall
 		}
+		// Cooperative cancellation at the iteration boundary.
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
 		gram(w, aw)
 		rp := mat.NewDense(n, n)
 		if k > 0 {
 			r11 := rp.Slice(0, k, 0, k)
 			r11.Copy(w.Slice(0, k, 0, k))
-			if err := lapack.PotrfUpper(r11); err != nil {
+			if err := lapack.PotrfUpper(e, r11); err != nil {
 				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
 			}
 			lapack.ZeroLower(r11)
@@ -75,9 +80,9 @@ func IteCholQRCPPartialGram(a *mat.Dense, eps float64, targetRank int, gram Gram
 			r12.Copy(w.Slice(0, k, k, n))
 			blas.TrsmLeftUpperTrans(r11, r12)
 			w22 := w.Slice(k, n, k, n)
-			blas.Gemm(blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
+			blas.Gemm(e, blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
 		}
-		pres := cholcp.PCholCPMax(w.Slice(k, n, k, n), eps, targetRank-k)
+		pres := cholcp.PCholCPMax(e, w.Slice(k, n, k, n), eps, targetRank-k)
 		if pres.NPiv == 0 {
 			if k > 0 {
 				break // remaining columns are negligible: truncate here
@@ -90,7 +95,7 @@ func IteCholQRCPPartialGram(a *mat.Dense, eps float64, targetRank int, gram Gram
 			mat.PermuteColsInPlace(rTotal.Slice(0, k, k, n), pres.Perm)
 		}
 		rp.Slice(k, n, k, n).Copy(pres.R)
-		blas.TrsmRightUpperNoTrans(aw, rp)
+		blas.TrsmRightUpperNoTrans(e, aw, rp)
 		blas.TrmmLeftUpperNoTrans(rp, rTotal)
 		applyTrailingPerm(perm, k, pres.Perm)
 		k += pres.NPiv
@@ -99,8 +104,11 @@ func IteCholQRCPPartialGram(a *mat.Dense, eps float64, targetRank int, gram Gram
 
 	// Reorthogonalize only the leading k columns and fold the correction
 	// into the first k rows of the accumulated R.
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
 	q1 := aw.Slice(0, m, 0, k).Clone()
-	rre, err := CholQRInPlaceGram(q1, gram)
+	rre, err := CholQRInPlaceGram(e, q1, gram)
 	if err != nil {
 		return nil, err
 	}

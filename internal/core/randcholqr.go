@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -30,7 +31,7 @@ const RandCholQRSketchFactor = 2
 // Cost: one m×n sketch GEMM + one CholQR, with the stability of the
 // sketch rather than of A itself — an alternative to the shifted and LU
 // preconditioners for ill-conditioned inputs.
-func RandCholQR(a *mat.Dense, rng *rand.Rand) (*QR, error) {
+func RandCholQR(e *parallel.Engine, a *mat.Dense, rng *rand.Rand) (*QR, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: RandCholQR needs m ≥ n, got %d×%d", m, n))
@@ -46,10 +47,10 @@ func RandCholQR(a *mat.Dense, rng *rand.Rand) (*QR, error) {
 		omega.Data[i] = scale * rng.NormFloat64()
 	}
 	b := mat.NewDense(d, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, omega, a, 0, b)
+	blas.Gemm(e, blas.NoTrans, blas.NoTrans, 1, omega, a, 0, b)
 	// Small QR of the sketch; only R is needed.
 	tau := make([]float64, n)
-	lapack.Geqrf(b, tau)
+	lapack.Geqrf(e, b, tau)
 	rb := lapack.ExtractR(b)
 	for i := 0; i < n; i++ {
 		if rb.At(i, i) == 0 {
@@ -59,12 +60,12 @@ func RandCholQR(a *mat.Dense, rng *rand.Rand) (*QR, error) {
 	// Precondition and finish with one Cholesky pass (+ a second for
 	// CholeskyQR2-grade orthogonality).
 	z := a.Clone()
-	blas.TrsmRightUpperNoTrans(z, rb)
-	r1, err := cholQRInPlace(z)
+	blas.TrsmRightUpperNoTrans(e, z, rb)
+	r1, err := cholQRInPlace(e, z)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := cholQRInPlace(z)
+	r2, err := cholQRInPlace(e, z)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -32,7 +33,7 @@ const maxStrongRRQRSwaps = 10000
 // The swap loop operates on the n×n R factor only; Q is rebuilt once at
 // the end, so the extra cost over plain QRCP is O(n³) per swap plus one
 // m·n² pass — negligible for tall-skinny matrices.
-func StrongRRQR(a *mat.Dense, k int, f float64) (*CPResult, error) {
+func StrongRRQR(e *parallel.Engine, a *mat.Dense, k int, f float64) (*CPResult, error) {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("core: StrongRRQR needs m ≥ n, got %d×%d", m, n))
@@ -47,7 +48,7 @@ func StrongRRQR(a *mat.Dense, k int, f float64) (*CPResult, error) {
 	fac := a.Clone()
 	tau := make([]float64, n)
 	perm := make(mat.Perm, n)
-	lapack.Geqp3(fac, tau, perm)
+	lapack.Geqp3(e, fac, tau, perm)
 	r := lapack.ExtractR(fac)
 
 	for swaps := 0; ; swaps++ {
@@ -61,7 +62,7 @@ func StrongRRQR(a *mat.Dense, k int, f float64) (*CPResult, error) {
 		// Swap leading column i with trailing column k+j and re-triangularize.
 		r.SwapCols(i, k+j)
 		perm.Swap(i, k+j)
-		retriangularize(r)
+		retriangularize(e, r)
 	}
 	// The maintained R was only needed to drive the swap criterion;
 	// rebuild the final factors by one unpivoted Householder QR of A·P,
@@ -69,7 +70,7 @@ func StrongRRQR(a *mat.Dense, k int, f float64) (*CPResult, error) {
 	// roundoff level (where inverting R would not be).
 	ap := mat.NewDense(m, n)
 	mat.PermuteCols(ap, a, perm)
-	qr := HouseholderQR(ap)
+	qr := HouseholderQR(e, ap)
 	return &CPResult{Q: qr.Q, R: qr.R, Perm: perm}, nil
 }
 
@@ -116,9 +117,9 @@ func worstPair(r *mat.Dense, k int, f float64) (bi, bj int, rho float64) {
 // retriangularize restores upper triangular form after a column swap by
 // a small Householder QR of R (n×n). Diagonal signs are normalized to
 // keep |R(i,i)| meaningful for the criterion.
-func retriangularize(r *mat.Dense) {
+func retriangularize(e *parallel.Engine, r *mat.Dense) {
 	n := r.Cols
 	tau := make([]float64, n)
-	lapack.Geqrf(r, tau)
+	lapack.Geqrf(e, r, tau)
 	lapack.ZeroLower(r)
 }

@@ -26,7 +26,7 @@ func kahanTall(rng *rand.Rand, m, n int, theta float64) *mat.Dense {
 	}
 	u := testmat.RandomOrtho(rng, m, n)
 	a := mat.NewDense(m, n)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, u, k, 0, a)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, u, k, 0, a)
 	return a
 }
 
@@ -34,7 +34,7 @@ func TestStrongRRQRInvariantsAndBound(t *testing.T) {
 	rng := rand.New(rand.NewSource(221))
 	m, n, k := 300, 20, 12
 	a := testmat.Generate(rng, m, n, n, 1e-6)
-	res, err := StrongRRQR(a, k, DefaultStrongRRQRF)
+	res, err := StrongRRQR(nil, a, k, DefaultStrongRRQRF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +60,7 @@ func TestStrongRRQRImprovesKahan(t *testing.T) {
 	m, n := 200, 40
 	k := n - 1
 	a := kahanTall(rng, m, n, 1.25)
-	res, err := StrongRRQR(a, k, DefaultStrongRRQRF)
+	res, err := StrongRRQR(nil, a, k, DefaultStrongRRQRF)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,8 +84,8 @@ func TestStrongRRQRNoSwapsOnCleanMatrix(t *testing.T) {
 	// criterion; strong RRQR must return the same permutation as HQR-CP.
 	rng := rand.New(rand.NewSource(223))
 	a := testmat.Generate(rng, 250, 16, 16, 1e-4)
-	ref := HQRCPNoQ(a)
-	res, err := StrongRRQR(a, 8, 10) // generous f: no swaps expected
+	ref := HQRCPNoQ(nil, a)
+	res, err := StrongRRQR(nil, a, 8, 10) // generous f: no swaps expected
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,23 +98,23 @@ func TestStrongRRQRNoSwapsOnCleanMatrix(t *testing.T) {
 
 func TestStrongRRQRPanics(t *testing.T) {
 	a := mat.NewDense(10, 5)
-	mustPanicC(t, func() { StrongRRQR(a, 0, 2) })                  //nolint:errcheck
-	mustPanicC(t, func() { StrongRRQR(a, 6, 2) })                  //nolint:errcheck
-	mustPanicC(t, func() { StrongRRQR(a, 3, 1) })                  //nolint:errcheck
-	mustPanicC(t, func() { StrongRRQR(mat.NewDense(3, 5), 2, 2) }) //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(nil, a, 0, 2) })                  //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(nil, a, 6, 2) })                  //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(nil, a, 3, 1) })                  //nolint:errcheck
+	mustPanicC(t, func() { StrongRRQR(nil, mat.NewDense(3, 5), 2, 2) }) //nolint:errcheck
 }
 
 func TestTournamentPivotsValidPerm(t *testing.T) {
 	rng := rand.New(rand.NewSource(224))
 	a := testmat.Generate(rng, 200, 24, 24, 1e-4)
 	for _, group := range []int{4, 6, 8, 24} {
-		perm := TournamentPivots(a, 8, group)
+		perm := TournamentPivots(nil, a, 8, group)
 		if !perm.IsValid() {
 			t.Fatalf("group=%d: invalid perm %v", group, perm)
 		}
 	}
 	// groupCols defaulting.
-	if p := TournamentPivots(a, 8, 0); !p.IsValid() {
+	if p := TournamentPivots(nil, a, 8, 0); !p.IsValid() {
 		t.Fatal("default groupCols: invalid perm")
 	}
 }
@@ -125,7 +125,7 @@ func TestTournamentPivotQuality(t *testing.T) {
 	rng := rand.New(rand.NewSource(225))
 	m, n, k := 400, 24, 8
 	a := testmat.Generate(rng, m, n, n, 1e-6)
-	perm := TournamentPivots(a, k, 6)
+	perm := TournamentPivots(nil, a, k, 6)
 	sel := mat.NewDense(m, k)
 	for i := 0; i < m; i++ {
 		for j := 0; j < k; j++ {
@@ -144,7 +144,7 @@ func TestTournamentQRCPTruncated(t *testing.T) {
 	rng := rand.New(rand.NewSource(226))
 	m, n, r := 300, 20, 9
 	a := testmat.Generate(rng, m, n, r, 1e-3)
-	res, err := TournamentQRCP(a, r, 5)
+	res, err := TournamentQRCP(nil, a, r, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestTournamentQRCPTruncated(t *testing.T) {
 	}
 	ap := mat.NewDense(m, n)
 	mat.PermuteCols(ap, a, res.Perm)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, res.Q, res.R, 1, ap)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, -1, res.Q, res.R, 1, ap)
 	if rel := ap.FrobeniusNorm() / a.FrobeniusNorm(); rel > 1e-10 {
 		t.Fatalf("truncated residual %g for exact-rank matrix", rel)
 	}
@@ -164,7 +164,7 @@ func TestTournamentQRCPTruncated(t *testing.T) {
 
 func TestTournamentPanics(t *testing.T) {
 	a := mat.NewDense(10, 5)
-	mustPanicC(t, func() { TournamentPivots(a, 0, 2) })
-	mustPanicC(t, func() { TournamentPivots(a, 6, 2) })
-	mustPanicC(t, func() { TournamentPivots(mat.NewDense(2, 5), 3, 2) })
+	mustPanicC(t, func() { TournamentPivots(nil, a, 0, 2) })
+	mustPanicC(t, func() { TournamentPivots(nil, a, 6, 2) })
+	mustPanicC(t, func() { TournamentPivots(nil, mat.NewDense(2, 5), 3, 2) })
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/lapack"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -20,7 +21,7 @@ import (
 // the paper notes in §V — its pivot sequence is generally *not* the
 // greedy HQR-CP sequence and its rank-revealing quality can be weaker.
 // It is provided as the prior-art CA comparator.
-func TournamentPivots(a *mat.Dense, k, groupCols int) mat.Perm {
+func TournamentPivots(e *parallel.Engine, a *mat.Dense, k, groupCols int) mat.Perm {
 	m, n := a.Rows, a.Cols
 	if k < 1 || k > n {
 		panic(fmt.Sprintf("core: TournamentPivots rank %d outside [1,%d]", k, n))
@@ -42,14 +43,14 @@ func TournamentPivots(a *mat.Dense, k, groupCols int) mat.Perm {
 		for i := range group {
 			group[i] = lo + i
 		}
-		sets = append(sets, playoff(a, group, k))
+		sets = append(sets, playoff(e, a, group, k))
 	}
 	// Reduction tree.
 	for len(sets) > 1 {
 		var next [][]int
 		for i := 0; i+1 < len(sets); i += 2 {
 			union := append(append([]int{}, sets[i]...), sets[i+1]...)
-			next = append(next, playoff(a, union, k))
+			next = append(next, playoff(e, a, union, k))
 		}
 		if len(sets)%2 == 1 {
 			next = append(next, sets[len(sets)-1])
@@ -78,7 +79,7 @@ func TournamentPivots(a *mat.Dense, k, groupCols int) mat.Perm {
 // playoff runs Householder QRCP on the sub-matrix formed by the given
 // columns and returns the first min(k, len(cols)) winning column indices
 // in pivot order.
-func playoff(a *mat.Dense, cols []int, k int) []int {
+func playoff(e *parallel.Engine, a *mat.Dense, cols []int, k int) []int {
 	m := a.Rows
 	sub := mat.NewDense(m, len(cols))
 	for i := 0; i < m; i++ {
@@ -90,7 +91,7 @@ func playoff(a *mat.Dense, cols []int, k int) []int {
 	}
 	tau := make([]float64, min(m, len(cols)))
 	jpvt := make(mat.Perm, len(cols))
-	lapack.Geqp3(sub, tau, jpvt)
+	lapack.Geqp3(e, sub, tau, jpvt)
 	if k > len(cols) {
 		k = len(cols)
 	}
@@ -105,21 +106,21 @@ func playoff(a *mat.Dense, cols []int, k int) []int {
 // the front, and completes a rank-k truncated factorization with an
 // unpivoted QR of the winner columns: A·P ≈ Q₁·R₁ as in QRCPTruncated,
 // but with CA-RRQR pivot quality instead of greedy pivots.
-func TournamentQRCP(a *mat.Dense, k, groupCols int) (*PartialResult, error) {
+func TournamentQRCP(e *parallel.Engine, a *mat.Dense, k, groupCols int) (*PartialResult, error) {
 	m, n := a.Rows, a.Cols
-	perm := TournamentPivots(a, k, groupCols)
+	perm := TournamentPivots(e, a, k, groupCols)
 	ap := mat.NewDense(m, n)
 	mat.PermuteCols(ap, a, perm)
 	// Thin QR of the winner block.
 	q1 := ap.Slice(0, m, 0, k).Clone()
-	qr := HouseholderQR(q1)
+	qr := HouseholderQR(e, q1)
 	// R₁ = [R₁₁ | Q₁ᵀ·A_rest].
 	r1 := mat.NewDense(k, n)
 	r1.Slice(0, k, 0, k).Copy(qr.R)
 	if k < n {
 		rest := ap.Slice(0, m, k, n)
 		coupling := r1.Slice(0, k, k, n)
-		blas.Gemm(blas.Trans, blas.NoTrans, 1, qr.Q, rest, 0, coupling)
+		blas.Gemm(e, blas.Trans, blas.NoTrans, 1, qr.Q, rest, 0, coupling)
 	}
 	return &PartialResult{Q: qr.Q, R: r1, Perm: perm, Rank: k}, nil
 }

@@ -23,42 +23,42 @@ const tsqrLeafRows = 2048
 // references find Cholesky-QR-type methods faster in practice.
 //
 // Q is formed explicitly (m×n), matching the paper's problem setting.
-func TSQR(a *mat.Dense) *QR {
+func TSQR(e *parallel.Engine, a *mat.Dense) *QR {
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: TSQR needs m ≥ n, got %d×%d", a.Rows, a.Cols))
 	}
-	q, r := tsqrNode(a)
+	q, r := tsqrNode(e, a)
 	return &QR{Q: q, R: r}
 }
 
 // tsqrNode returns an explicit-Q factorization of one tree node.
-func tsqrNode(a *mat.Dense) (q, r *mat.Dense) {
+func tsqrNode(e *parallel.Engine, a *mat.Dense) (q, r *mat.Dense) {
 	n := a.Cols
 	if a.Rows <= tsqrLeafRows || a.Rows < 2*n {
-		qr := HouseholderQR(a)
+		qr := HouseholderQR(e, a)
 		return qr.Q, qr.R
 	}
 	mid := a.Rows / 2
 	var q1, r1, q2, r2 *mat.Dense
-	parallel.Do(
-		func() { q1, r1 = tsqrNode(a.RowSlice(0, mid)) },
-		func() { q2, r2 = tsqrNode(a.RowSlice(mid, a.Rows)) },
+	e.Do(
+		func() { q1, r1 = tsqrNode(e, a.RowSlice(0, mid)) },
+		func() { q2, r2 = tsqrNode(e, a.RowSlice(mid, a.Rows)) },
 	)
 	// Combine: QR of the stacked [R1; R2].
 	stack := mat.NewDense(2*n, n)
 	stack.Slice(0, n, 0, n).Copy(r1)
 	stack.Slice(n, 2*n, 0, n).Copy(r2)
 	tau := make([]float64, n)
-	lapack.Geqrf(stack, tau)
+	lapack.Geqrf(e, stack, tau)
 	r = lapack.ExtractR(stack)
-	lapack.Orgqr(stack, tau) // stack is now the 2n×n combine factor Qs
+	lapack.Orgqr(e, stack, tau) // stack is now the 2n×n combine factor Qs
 	// Propagate: Q = [Q1·Qs_top; Q2·Qs_bot].
 	q = mat.NewDense(a.Rows, n)
 	qsTop := stack.Slice(0, n, 0, n)
 	qsBot := stack.Slice(n, 2*n, 0, n)
-	parallel.Do(
-		func() { blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q1, qsTop, 0, q.RowSlice(0, mid)) },
-		func() { blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q2, qsBot, 0, q.RowSlice(mid, a.Rows)) },
+	e.Do(
+		func() { blas.Gemm(e, blas.NoTrans, blas.NoTrans, 1, q1, qsTop, 0, q.RowSlice(0, mid)) },
+		func() { blas.Gemm(e, blas.NoTrans, blas.NoTrans, 1, q2, qsBot, 0, q.RowSlice(mid, a.Rows)) },
 	)
 	return q, r
 }

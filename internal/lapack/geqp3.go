@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/mat"
 )
@@ -21,9 +22,10 @@ const qp3Block = 32
 // Cholesky-QR-type methods win on tall-skinny problems.
 //
 // Outputs follow Geqpf: reflectors + R in a, scales in tau, and jpvt maps
-// position j to the original column index.
-func Geqp3(a *mat.Dense, tau []float64, jpvt mat.Perm) {
-	Geqp3Partial(a, tau, jpvt, min(a.Rows, a.Cols))
+// position j to the original column index. The engine e bounds the
+// parallel width (nil selects the default engine).
+func Geqp3(e *parallel.Engine, a *mat.Dense, tau []float64, jpvt mat.Perm) {
+	Geqp3Partial(e, a, tau, jpvt, min(a.Rows, a.Cols))
 }
 
 // Geqp3Partial is Geqp3 stopped after the first maxK pivot columns have
@@ -32,7 +34,7 @@ func Geqp3(a *mat.Dense, tau []float64, jpvt mat.Perm) {
 // triangle hold R₁ = [R₁₁ R₁₂] of the truncated factorization
 // A·P ≈ Q₁·R₁; trailing columns beyond maxK are the updated (but
 // unfactored) remainder.
-func Geqp3Partial(a *mat.Dense, tau []float64, jpvt mat.Perm, maxK int) {
+func Geqp3Partial(e *parallel.Engine, a *mat.Dense, tau []float64, jpvt mat.Perm, maxK int) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if maxK < k {
@@ -61,7 +63,7 @@ func Geqp3Partial(a *mat.Dense, tau []float64, jpvt mat.Perm, maxK int) {
 		vn1[j] = a.ColNorm2(j)
 		vn2[j] = vn1[j]
 	}
-	st := &qp3State{a: a, tau: tau, jpvt: jpvt, vn1: vn1, vn2: vn2,
+	st := &qp3State{e: e, a: a, tau: tau, jpvt: jpvt, vn1: vn1, vn2: vn2,
 		colBuf: make([]float64, m), recompute: make([]bool, n)}
 	for j := 0; j < k; {
 		jb := min(qp3Block, k-j)
@@ -70,6 +72,7 @@ func Geqp3Partial(a *mat.Dense, tau []float64, jpvt mat.Perm, maxK int) {
 }
 
 type qp3State struct {
+	e         *parallel.Engine
 	a         *mat.Dense
 	tau       []float64
 	jpvt      mat.Perm
@@ -134,7 +137,7 @@ func (st *qp3State) laqps(j0, jb int) (kb int) {
 		// F(k+1:, k) = τ · A(rk:m, rk+1:n)ᵀ · v  — the Level-2 half.
 		if rk+1 < n {
 			w := wrow[:n-rk-1]
-			blas.Gemv(blas.Trans, t, a.Slice(rk, m, rk+1, n), v, 0, w)
+			blas.Gemv(st.e, blas.Trans, t, a.Slice(rk, m, rk+1, n), v, 0, w)
 			for l := rk + 1; l < n; l++ {
 				f.Set(l-j0, k, w[l-rk-1])
 			}
@@ -145,7 +148,7 @@ func (st *qp3State) laqps(j0, jb int) (kb int) {
 		// Incremental F update:
 		// F(:, k) −= τ · F(:, 0:k) · (A(rk:m, j0:j0+k)ᵀ · v).
 		if k > 0 {
-			blas.Gemv(blas.Trans, -t, a.Slice(rk, m, j0, j0+k), v, 0, auxv[:k])
+			blas.Gemv(st.e, blas.Trans, -t, a.Slice(rk, m, j0, j0+k), v, 0, auxv[:k])
 			for l := 0; l < n-j0; l++ {
 				frow := f.Data[l*f.Stride : l*f.Stride+k]
 				s := 0.0
@@ -196,7 +199,7 @@ func (st *qp3State) laqps(j0, jb int) (kb int) {
 		vpanel := a.Slice(rk, m, j0, j0+kb)
 		fpart := f.Slice(kb, n-j0, 0, kb)
 		trailing := a.Slice(rk, m, rk, n)
-		blas.Gemm(blas.NoTrans, blas.Trans, -1, vpanel, fpart, 1, trailing)
+		blas.Gemm(st.e, blas.NoTrans, blas.Trans, -1, vpanel, fpart, 1, trailing)
 	}
 	// Recompute the flagged norms against the fully updated trailing matrix.
 	if sticky {

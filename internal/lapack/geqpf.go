@@ -4,13 +4,14 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
 // tol3z is the LAPACK threshold (√ε) that decides when the incremental
 // column-norm downdate has lost too much accuracy and the norm must be
 // recomputed — the Drmač–Bujanović safeguard against wrong pivots.
-var tol3z = math.Sqrt(2.220446049250313e-16)
+var tol3z = math.Sqrt(mat.Eps)
 
 // Geqpf computes the QR factorization with column pivoting A·P = Q·R using
 // unblocked Level-2 Householder transformations (DGEQPF). This is the
@@ -22,7 +23,7 @@ var tol3z = math.Sqrt(2.220446049250313e-16)
 // On return a holds R in its upper triangle and the reflectors below, tau
 // the reflector scales, and jpvt (length n, overwritten) maps position j
 // to the original column index: (A·P)(:, j) = A(:, jpvt[j]).
-func Geqpf(a *mat.Dense, tau []float64, jpvt mat.Perm) {
+func Geqpf(e *parallel.Engine, a *mat.Dense, tau []float64, jpvt mat.Perm) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) < k {
@@ -63,7 +64,7 @@ func Geqpf(a *mat.Dense, tau []float64, jpvt mat.Perm) {
 		v[0] = 1
 		if j+1 < n {
 			trailing := a.Slice(j, m, j+1, n)
-			applyReflectorLeft(t, v, trailing, work)
+			applyReflectorLeft(e, t, v, trailing, work)
 		}
 		a.Set(j, j, beta)
 		scatterCol(a, j+1, j, v[1:])

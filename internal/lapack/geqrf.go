@@ -3,6 +3,7 @@ package lapack
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/mat"
 )
@@ -14,8 +15,9 @@ const qrBlock = 32
 // transformations (DGEQRF). On return the upper triangle of a holds R and
 // the strict lower triangle holds the reflector vectors; tau (length
 // min(m,n)) holds the reflector scales. Use Orgqr to materialize Q or
-// ExtractR to copy out R.
-func Geqrf(a *mat.Dense, tau []float64) {
+// ExtractR to copy out R. The engine e bounds the parallel width (nil
+// selects the default engine).
+func Geqrf(e *parallel.Engine, a *mat.Dense, tau []float64) {
 	m, n := a.Rows, a.Cols
 	k := min(m, n)
 	if len(tau) < k {
@@ -42,7 +44,7 @@ func Geqrf(a *mat.Dense, tau []float64) {
 			// Apply H to the remaining panel columns.
 			if jj+1 < j+jb {
 				panel := a.Slice(jj, m, jj+1, j+jb)
-				applyReflectorLeft(t, v, panel, work)
+				applyReflectorLeft(e, t, v, panel, work)
 			}
 			// Store beta and the reflector back into the column.
 			a.Set(jj, jj, beta)
@@ -54,7 +56,7 @@ func Geqrf(a *mat.Dense, tau []float64) {
 			t := mat.GetWorkspace(jb, jb, true)
 			larft(v, tau[j:j+jb], t)
 			trailing := a.Slice(j, m, j+jb, n)
-			larfbLeft(true, v, t, trailing)
+			larfbLeft(e, true, v, t, trailing)
 			mat.PutWorkspace(t)
 			mat.PutWorkspace(v)
 		}
@@ -63,8 +65,9 @@ func Geqrf(a *mat.Dense, tau []float64) {
 
 // Orgqr overwrites a (holding a Geqrf result in its first k = len(tau)
 // columns) with the explicit m×n orthonormal factor Q = H₁…H_k·[I; 0]
-// (DORGQR with the thin-Q convention n = a.Cols).
-func Orgqr(a *mat.Dense, tau []float64) {
+// (DORGQR with the thin-Q convention n = a.Cols). The engine e bounds the
+// parallel width (nil selects the default engine).
+func Orgqr(e *parallel.Engine, a *mat.Dense, tau []float64) {
 	m, n := a.Rows, a.Cols
 	k := len(tau)
 	if k > n {
@@ -93,7 +96,7 @@ func Orgqr(a *mat.Dense, tau []float64) {
 	for bi := len(blocks) - 1; bi >= 0; bi-- {
 		b := blocks[bi]
 		sub := a.Slice(b.j, m, b.j, n)
-		larfbLeft(false, b.v, b.t, sub)
+		larfbLeft(e, false, b.v, b.t, sub)
 		mat.PutWorkspace(b.t)
 		mat.PutWorkspace(b.v)
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -29,7 +30,7 @@ func (e *SingularError) Error() string {
 //
 // This is the substrate of LU-Cholesky QR (Terao, Ozaki, Ogita 2020 — the
 // paper's reference [9]), which uses L as a preconditioner for Cholesky QR.
-func Getrf(a *mat.Dense, ipiv []int) error {
+func Getrf(e *parallel.Engine, a *mat.Dense, ipiv []int) error {
 	m, n := a.Rows, a.Cols
 	if m < n {
 		panic(fmt.Sprintf("lapack: Getrf needs m ≥ n, got %d×%d", m, n))
@@ -95,7 +96,7 @@ func Getrf(a *mat.Dense, ipiv []int) error {
 		l21 := a.Slice(k0+kb, m, k0, k0+kb)
 		u12 := a.Slice(k0, k0+kb, k0+kb, n)
 		a22 := a.Slice(k0+kb, m, k0+kb, n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, l21, u12, 1, a22)
+		blas.Gemm(e, blas.NoTrans, blas.NoTrans, -1, l21, u12, 1, a22)
 	}
 	return nil
 }

@@ -18,7 +18,7 @@ func TestGetrfReconstructs(t *testing.T) {
 		a := randMat(rng, sh.m, sh.n)
 		fac := a.Clone()
 		ipiv := make([]int, sh.n)
-		if err := Getrf(fac, ipiv); err != nil {
+		if err := Getrf(nil, fac, ipiv); err != nil {
 			t.Fatalf("%dx%d: %v", sh.m, sh.n, err)
 		}
 		l, u := ExtractLU(fac)
@@ -26,7 +26,7 @@ func TestGetrfReconstructs(t *testing.T) {
 		pa := a.Clone()
 		ApplyIpiv(pa, ipiv, true)
 		lu := mat.NewDense(sh.m, sh.n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, 1, l, u, 0, lu)
+		blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, l, u, 0, lu)
 		if !mat.EqualApprox(lu, pa, 1e-11*a.MaxAbs()) {
 			t.Fatalf("%dx%d: L·U != P·A", sh.m, sh.n)
 		}
@@ -43,7 +43,7 @@ func TestGetrfReconstructs(t *testing.T) {
 func TestGetrfSingular(t *testing.T) {
 	a := mat.NewDense(4, 3) // zero matrix
 	ipiv := make([]int, 3)
-	err := Getrf(a, ipiv)
+	err := Getrf(nil, a, ipiv)
 	var serr *SingularError
 	if !errors.As(err, &serr) {
 		t.Fatalf("want SingularError, got %v", err)
@@ -59,7 +59,7 @@ func TestGetrfPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	Getrf(mat.NewDense(2, 3), make([]int, 3)) //nolint:errcheck
+	Getrf(nil, mat.NewDense(2, 3), make([]int, 3)) //nolint:errcheck
 }
 
 func TestApplyIpivRoundTrip(t *testing.T) {
@@ -92,7 +92,7 @@ func TestGetrfGrowthOnIllConditioned(t *testing.T) {
 	}
 	fac := a.Clone()
 	ipiv := make([]int, n)
-	if err := Getrf(fac, ipiv); err != nil {
+	if err := Getrf(nil, fac, ipiv); err != nil {
 		t.Fatal(err)
 	}
 	l, _ := ExtractLU(fac)

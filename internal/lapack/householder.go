@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/parallel"
 	"repro/mat"
 )
 
@@ -67,13 +68,13 @@ func scatterCol(a *mat.Dense, i0, j int, src []float64) {
 // applyReflectorLeft applies H = I − τ·v·vᵀ to c from the left:
 // c := c − τ·v·(vᵀc). v has length c.Rows (v[0] is explicit). work must
 // have length ≥ c.Cols.
-func applyReflectorLeft(tau float64, v []float64, c *mat.Dense, work []float64) {
+func applyReflectorLeft(e *parallel.Engine, tau float64, v []float64, c *mat.Dense, work []float64) {
 	if tau == 0 || c.Cols == 0 || c.Rows == 0 {
 		return
 	}
 	w := work[:c.Cols]
-	blas.Gemv(blas.Trans, 1, c, v, 0, w)
-	blas.Ger(-tau, v, w, c)
+	blas.Gemv(e, blas.Trans, 1, c, v, 0, w)
+	blas.Ger(e, -tau, v, w, c)
 }
 
 // larft forms the upper triangular block factor T of the compact WY
@@ -148,20 +149,20 @@ func trmmLeftUpperTransSmall(t, b *mat.Dense) {
 // trans=true applies (I − V·T·Vᵀ)ᵀ (the forward QR update);
 // trans=false applies I − V·T·Vᵀ (used when forming Q).
 // v is m×k with explicit unit-diagonal lower-trapezoidal structure.
-func larfbLeft(trans bool, v, t, c *mat.Dense) {
+func larfbLeft(e *parallel.Engine, trans bool, v, t, c *mat.Dense) {
 	if c.Cols == 0 || v.Cols == 0 {
 		return
 	}
 	k := v.Cols
 	w := mat.GetWorkspace(k, c.Cols, false)
 	defer mat.PutWorkspace(w)
-	blas.Gemm(blas.Trans, blas.NoTrans, 1, v, c, 0, w) // W = Vᵀ·C
+	blas.Gemm(e, blas.Trans, blas.NoTrans, 1, v, c, 0, w) // W = Vᵀ·C
 	if trans {
 		trmmLeftUpperTransSmall(t, w) // W = Tᵀ·W
 	} else {
 		blas.TrmmLeftUpperNoTrans(t, w) // W = T·W
 	}
-	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, v, w, 1, c) // C −= V·W
+	blas.Gemm(e, blas.NoTrans, blas.NoTrans, -1, v, w, 1, c) // C −= V·W
 }
 
 // extractV materializes the unit lower-trapezoidal reflector panel stored

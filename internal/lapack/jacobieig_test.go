@@ -56,13 +56,13 @@ func TestJacobiEigSymReconstructs(t *testing.T) {
 			}
 		}
 		rec := mat.NewDense(n, n)
-		blas.Gemm(blas.NoTrans, blas.Trans, 1, vd, vecs, 0, rec)
+		blas.Gemm(nil, blas.NoTrans, blas.Trans, 1, vd, vecs, 0, rec)
 		if !mat.EqualApprox(rec, a, 1e-11*(1+a.MaxAbs())) {
 			t.Fatalf("n=%d: V·Λ·Vᵀ != A", n)
 		}
 		// V orthogonal.
 		g := mat.NewDense(n, n)
-		blas.Gram(g, vecs)
+		blas.Gram(nil, g, vecs)
 		if !mat.EqualApprox(g, mat.Identity(n), 1e-12) {
 			t.Fatalf("n=%d: V not orthogonal", n)
 		}
@@ -92,7 +92,7 @@ func TestJacobiEigSymMatchesSVDOnPSD(t *testing.T) {
 	rng := rand.New(rand.NewSource(262))
 	a := randMat(rng, 40, 8)
 	w := mat.NewDense(8, 8)
-	blas.Gram(w, a)
+	blas.Gram(nil, w, a)
 	vals, _ := JacobiEigSym(w)
 	sv := JacobiSVDValues(a)
 	for i := range sv {

@@ -40,7 +40,7 @@ func TestJacobiSVDKnownSingularValues(t *testing.T) {
 			ud.Set(i, j, ud.At(i, j)*sigma[j])
 		}
 	}
-	blas.Gemm(blas.NoTrans, blas.Trans, 1, ud, v, 0, a)
+	blas.Gemm(nil, blas.NoTrans, blas.Trans, 1, ud, v, 0, a)
 	sv := JacobiSVDValues(a)
 	for i, want := range sigma {
 		if math.Abs(sv[i]-want) > 1e-12*sigma[0] && math.Abs(sv[i]-want)/want > 1e-8 {
@@ -90,7 +90,7 @@ func TestJacobiOrthogonalInvariance(t *testing.T) {
 	a := randMat(rng, 20, 6)
 	q := randomOrtho(rng, 20, 20)
 	qa := mat.NewDense(20, 6)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q, a, 0, qa)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, q, a, 0, qa)
 	s1 := JacobiSVDValues(a)
 	s2 := JacobiSVDValues(qa)
 	for i := range s1 {
@@ -104,7 +104,7 @@ func TestJacobiOrthogonalInvariance(t *testing.T) {
 func randomOrtho(rng *rand.Rand, m, n int) *mat.Dense {
 	g := randMat(rng, m, n)
 	tau := make([]float64, n)
-	Geqrf(g, tau)
-	Orgqr(g, tau)
+	Geqrf(nil, g, tau)
+	Orgqr(nil, g, tau)
 	return g
 }

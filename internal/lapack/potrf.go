@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/blas"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/mat"
 )
@@ -18,8 +19,9 @@ const potrfBlock = 64
 // The strict lower triangle is not referenced and not modified (LAPACK
 // DPOTRF('U') semantics). On breakdown it returns
 // *NotPositiveDefiniteError with the failing pivot index; the contents of
-// a are then unspecified.
-func PotrfUpper(a *mat.Dense) error {
+// a are then unspecified. The engine e bounds the parallel width of the
+// trailing Level-3 updates (nil selects the default engine).
+func PotrfUpper(e *parallel.Engine, a *mat.Dense) error {
 	if a.Rows != a.Cols {
 		panic(fmt.Sprintf("lapack: PotrfUpper on %d×%d", a.Rows, a.Cols))
 	}
@@ -39,7 +41,7 @@ func PotrfUpper(a *mat.Dense) error {
 			a12 := a.Slice(k, k+kb, k+kb, n)
 			blas.TrsmLeftUpperTrans(akk, a12)
 			a22 := a.Slice(k+kb, n, k+kb, n)
-			blas.SyrkUpperTrans(-1, a12, 1, a22)
+			blas.SyrkUpperTrans(e, -1, a12, 1, a22)
 		}
 	}
 	return nil

@@ -21,12 +21,12 @@ func TestQuickGeqrfContract(t *testing.T) {
 		a := randMat(rng, m, n)
 		fac := a.Clone()
 		tau := make([]float64, n)
-		Geqrf(fac, tau)
+		Geqrf(nil, fac, tau)
 		r := ExtractR(fac)
 		if !r.IsUpperTriangular(0) {
 			return false
 		}
-		Orgqr(fac, tau)
+		Orgqr(nil, fac, tau)
 		if orthoError(fac) > 1e-12*math.Sqrt(float64(n)) {
 			return false
 		}
@@ -43,17 +43,17 @@ func TestQuickPotrfRoundTrip(t *testing.T) {
 		n := 1 + int(nRaw)%40
 		b := randMat(rng, n+5, n)
 		w := mat.NewDense(n, n)
-		blas.Gram(w, b)
+		blas.Gram(nil, w, b)
 		for i := 0; i < n; i++ {
 			w.Set(i, i, w.At(i, i)+1)
 		}
 		r := w.Clone()
-		if err := PotrfUpper(r); err != nil {
+		if err := PotrfUpper(nil, r); err != nil {
 			return false
 		}
 		ZeroLower(r)
 		chk := mat.NewDense(n, n)
-		blas.Gemm(blas.Trans, blas.NoTrans, 1, r, r, 0, chk)
+		blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, r, r, 0, chk)
 		return mat.EqualApprox(chk, w, 1e-10*(1+w.MaxAbs()))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -73,7 +73,7 @@ func TestQuickGeqp3DiagonalDominance(t *testing.T) {
 		fac := a.Clone()
 		tau := make([]float64, n)
 		jpvt := make(mat.Perm, n)
-		Geqp3(fac, tau, jpvt)
+		Geqp3(nil, fac, tau, jpvt)
 		r := ExtractR(fac)
 		for j := 0; j < n; j++ {
 			d2 := r.At(j, j) * r.At(j, j)
@@ -103,14 +103,14 @@ func TestQuickGetrfRoundTrip(t *testing.T) {
 		a := randMat(rng, m, n)
 		fac := a.Clone()
 		ipiv := make([]int, n)
-		if err := Getrf(fac, ipiv); err != nil {
+		if err := Getrf(nil, fac, ipiv); err != nil {
 			return false
 		}
 		l, u := ExtractLU(fac)
 		pa := a.Clone()
 		ApplyIpiv(pa, ipiv, true)
 		lu := mat.NewDense(m, n)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, 1, l, u, 0, lu)
+		blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, l, u, 0, lu)
 		return mat.EqualApprox(lu, pa, 1e-10*(1+a.MaxAbs())) && l.MaxAbs() <= 1+1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

@@ -14,25 +14,28 @@ package parallel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
 )
 
-// maxWorkers caps the parallel width of any single region. It defaults to
-// GOMAXPROCS and can be overridden for experiments (e.g. single-threaded
-// baselines) via SetMaxWorkers. Stored atomically so the single-threaded
-// fast path costs one load.
+// maxWorkers caps the parallel width of the default engine's regions (and
+// the worker-pool size). It defaults to GOMAXPROCS and can be overridden
+// for experiments (e.g. single-threaded baselines) via SetMaxWorkers.
+// Stored atomically so the single-threaded fast path costs one load.
 var maxWorkers atomic.Int64
 
 func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
 
-// SetMaxWorkers bounds the parallel width of subsequent parallel regions.
-// n < 1 resets to GOMAXPROCS. It returns the previous value. Safe to call
-// concurrently with running regions: in-flight regions keep the width they
-// started with, and surplus pool workers retire as they go idle.
+// SetMaxWorkers bounds the parallel width of the default engine — the nil
+// Engine that package-level For/Do and every kernel called with a nil
+// engine use. It is the compatibility shim for code without an explicit
+// Engine; per-call width bounds should use NewEngine instead, which is
+// race-free under concurrency. n < 1 resets to GOMAXPROCS. It returns the
+// previous value. Safe to call concurrently with running regions:
+// in-flight regions keep the width they started with, and surplus pool
+// workers retire as they go idle.
 func SetMaxWorkers(n int) int {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
@@ -91,61 +94,10 @@ func clampParts(n, parts, minChunk int) int {
 	return parts
 }
 
-// For runs body(lo, hi) over a partition of [0, n) using up to MaxWorkers
-// ways of parallelism (pool workers plus the calling goroutine). minChunk
-// sets the smallest useful grain: if n/minChunk < 2 the body runs inline
-// on the calling goroutine. The body must be safe to invoke concurrently
-// on disjoint ranges.
-//
-// Chunks the pool cannot absorb (all workers busy, e.g. under nested
-// parallelism) run inline on the caller, so For never blocks on an
-// unclaimed task and nesting cannot deadlock.
+// For runs body(lo, hi) over a partition of [0, n) on the default engine:
+// up to MaxWorkers ways of parallelism. See Engine.For for the contract.
 func For(n, minChunk int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	w := MaxWorkers()
-	if w == 1 {
-		body(0, n)
-		return
-	}
-	parts := clampParts(n, w, minChunk)
-	if parts <= 1 {
-		body(0, n)
-		return
-	}
-	chunk := n / parts
-	rem := n % parts
-	// Chunk 0 (always) and every chunk the pool cannot take (rarely) run
-	// on the calling goroutine; [inlineLo, n) tracks the latter tail.
-	wg := wgPool.Get().(*sync.WaitGroup)
-	inlineLo := n
-	lo := chunk
-	if rem > 0 {
-		lo++
-	}
-	hi0 := lo
-	for i := 1; i < parts; i++ {
-		hi := lo + chunk
-		if i < rem {
-			hi++
-		}
-		wk := acquire()
-		if wk == nil {
-			inlineLo = lo
-			break
-		}
-		wg.Add(1)
-		trace.Inc(trace.CtrWorkerDispatches)
-		wk.ch <- task{body: body, lo: lo, hi: hi, wg: wg}
-		lo = hi
-	}
-	runInline(body, 0, hi0)
-	if inlineLo < n {
-		runInline(body, inlineLo, n)
-	}
-	wg.Wait()
-	wgPool.Put(wg)
+	(*Engine)(nil).For(n, minChunk, body)
 }
 
 // runInline executes one chunk on the calling goroutine, attributing its
@@ -173,33 +125,8 @@ func runInlineTask(fn func()) {
 	fn()
 }
 
-// Do runs each task concurrently and waits for all of them. Every task is
-// guaranteed its own flow of control (pool worker, fresh goroutine beyond
-// the pool limit, or the calling goroutine for the first task), so tasks
-// may synchronize with one another — the distributed substrate runs one
-// task per rank and the ranks exchange messages and barrier.
+// Do runs each task concurrently on the default engine and waits for all
+// of them. See Engine.Do for the contract.
 func Do(tasks ...func()) {
-	switch len(tasks) {
-	case 0:
-		return
-	case 1:
-		tasks[0]()
-		return
-	}
-	wg := wgPool.Get().(*sync.WaitGroup)
-	wg.Add(len(tasks) - 1)
-	for _, t := range tasks[1:] {
-		if wk := acquire(); wk != nil {
-			trace.Inc(trace.CtrWorkerDispatches)
-			wk.ch <- task{fn: t, wg: wg}
-			continue
-		}
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(t)
-	}
-	runInlineTask(tasks[0])
-	wg.Wait()
-	wgPool.Put(wg)
+	(*Engine)(nil).Do(tasks...)
 }

@@ -38,14 +38,14 @@ func Lstsq(a, b *mat.Dense, rcond float64, opts *Options) (*LstsqResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	r := f.Rank(rcond)
+	r := f.NumericalRank(rcond)
 	if r == 0 {
 		return &LstsqResult{X: mat.NewDense(n, b.Cols), Rank: 0, Resid: colNorms(b)}, nil
 	}
 	// y = Q₁ᵀ·B (r×k).
 	q1 := f.Q.Slice(0, m, 0, r)
 	y := mat.NewDense(r, b.Cols)
-	blas.Gemm(blas.Trans, blas.NoTrans, 1, q1, b, 0, y)
+	blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, q1, b, 0, y)
 	// Solve R₁₁·y = Q₁ᵀ·B in place.
 	r11 := f.R.Slice(0, r, 0, r)
 	blas.TrsmLeftUpperNoTrans(r11, y)
@@ -56,7 +56,7 @@ func Lstsq(a, b *mat.Dense, rcond float64, opts *Options) (*LstsqResult, error) 
 	}
 	// Residuals ‖A·x − B‖ per column.
 	res := b.Clone()
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, a, x, -1, res)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, a, x, -1, res)
 	return &LstsqResult{X: x, Rank: r, Resid: colNorms(res)}, nil
 }
 

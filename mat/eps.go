@@ -1,0 +1,7 @@
+package mat
+
+// Eps is the double-precision unit roundoff u = 2⁻⁵², the machine epsilon
+// every tolerance in this module is expressed in: rank cutoffs n·u·|R₀₀|,
+// the DGEQPF norm-downdate guard √u, the paper's κ₂(A)·u orthogonality
+// bounds. Hoisted here so the literal appears exactly once.
+const Eps = 2.220446049250313e-16

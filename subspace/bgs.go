@@ -79,8 +79,8 @@ func (b *BasisBuilder) Append(x *mat.Dense) (added int, err error) {
 		}
 		qv := b.Basis()
 		proj := mat.NewDense(b.k, s)
-		blas.Gemm(blas.Trans, blas.NoTrans, 1, qv, work, 0, proj)
-		blas.Gemm(blas.NoTrans, blas.NoTrans, -1, qv, proj, 1, work)
+		blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, qv, work, 0, proj)
+		blas.Gemm(nil, blas.NoTrans, blas.NoTrans, -1, qv, proj, 1, work)
 	}
 	// Drop columns that collapsed into the span of the basis.
 	var keep []int
@@ -102,10 +102,10 @@ func (b *BasisBuilder) Append(x *mat.Dense) (added int, err error) {
 	}
 	// Intra-block orthogonalization with rank detection on the survivors.
 	rank := len(keep)
-	if _, err := core.CholQR2InPlace(kept); err != nil {
+	if _, err := core.CholQR2InPlace(nil, kept); err != nil {
 		// Mutually dependent survivors: pivoted QR sorts the independent
 		// directions first and reveals the usable rank.
-		res, err2 := core.IteCholQRCP(kept, core.DefaultPivotTol)
+		res, err2 := core.IteCholQRCP(nil, kept, core.DefaultPivotTol)
 		if err2 != nil {
 			return 0, nil
 		}

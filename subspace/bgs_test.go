@@ -79,7 +79,7 @@ func TestBasisBuilderFullyDependentBlock(t *testing.T) {
 		coef.Data[i] = rng.NormFloat64()
 	}
 	dep := mat.NewDense(n, 3)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q, coef, 0, dep)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, q, coef, 0, dep)
 	added, err := bb.Append(dep)
 	if err != nil {
 		t.Fatal(err)

@@ -22,7 +22,7 @@ func symWithSpectrum(rng *rand.Rand, vals []float64) *mat.Dense {
 		}
 	}
 	a := mat.NewDense(n, n)
-	blas.Gemm(blas.NoTrans, blas.Trans, 1, vd, v, 0, a)
+	blas.Gemm(nil, blas.NoTrans, blas.Trans, 1, vd, v, 0, a)
 	return a
 }
 
@@ -43,7 +43,7 @@ func TestSymEigsRecoversSpectrum(t *testing.T) {
 	}
 	// Eigenvector residuals ‖A·v − λ·v‖.
 	av := mat.NewDense(a.Rows, k)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, a, vecs, 0, av)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, a, vecs, 0, av)
 	for j := 0; j < k; j++ {
 		res := 0.0
 		for i := 0; i < a.Rows; i++ {
@@ -120,9 +120,9 @@ func TestRangeFinderCapturesDominantSpace(t *testing.T) {
 	}
 	// ‖A − Q·Qᵀ·A‖ should be at the σ_(k+1) level.
 	qta := mat.NewDense(k, n)
-	blas.Gemm(blas.Trans, blas.NoTrans, 1, q, a, 0, qta)
+	blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, q, a, 0, qta)
 	diff := a.Clone()
-	blas.Gemm(blas.NoTrans, blas.NoTrans, -1, q, qta, 1, diff)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, -1, q, qta, 1, diff)
 	if rel := diff.FrobeniusNorm() / a.FrobeniusNorm(); rel > 1e-10 {
 		t.Fatalf("range capture error %g for exact-rank matrix", rel)
 	}

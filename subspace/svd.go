@@ -37,12 +37,12 @@ func RandSVD(a *mat.Dense, k, power int, rng *rand.Rand) (*SVDResult, error) {
 	}
 	// B = Qᵀ·A (k×n).
 	b := mat.NewDense(k, n)
-	blas.Gemm(blas.Trans, blas.NoTrans, 1, q, a, 0, b)
+	blas.Gemm(nil, blas.Trans, blas.NoTrans, 1, q, a, 0, b)
 	// Small exact SVD of Bᵀ (n×k, tall): Bᵀ = V·S·U_Bᵀ.
 	v, s, ub := thinSVD(b.T())
 	// U = Q·U_B.
 	u := mat.NewDense(m, k)
-	blas.Gemm(blas.NoTrans, blas.NoTrans, 1, q, ub, 0, u)
+	blas.Gemm(nil, blas.NoTrans, blas.NoTrans, 1, q, ub, 0, u)
 	return &SVDResult{U: u, S: s, V: v}, nil
 }
 

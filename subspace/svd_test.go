@@ -41,7 +41,7 @@ func TestRandSVDExactRank(t *testing.T) {
 		}
 	}
 	rec := mat.NewDense(m, n)
-	blas.Gemm(blas.NoTrans, blas.Trans, 1, us, res.V, 0, rec)
+	blas.Gemm(nil, blas.NoTrans, blas.Trans, 1, us, res.V, 0, rec)
 	diff := a.Clone()
 	for i := range diff.Data {
 		diff.Data[i] -= rec.Data[i]
@@ -70,7 +70,7 @@ func TestRandSVDNearOptimalError(t *testing.T) {
 		}
 	}
 	rec := mat.NewDense(m, n)
-	blas.Gemm(blas.NoTrans, blas.Trans, 1, us, res.V, 0, rec)
+	blas.Gemm(nil, blas.NoTrans, blas.Trans, 1, us, res.V, 0, rec)
 	diff := a.Clone()
 	for i := range diff.Data {
 		diff.Data[i] -= rec.Data[i]

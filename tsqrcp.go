@@ -4,8 +4,6 @@ import (
 	"math"
 
 	"repro/internal/core"
-	"repro/internal/parallel"
-	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -26,42 +24,47 @@ var ErrStall = core.ErrStall
 // Options control the pivoted factorizations.
 type Options struct {
 	// PivotTol is the P-Chol-CP tolerance ε. Zero value selects
-	// DefaultPivotTol. (To experiment with the paper's unstable "ε = 0"
-	// variant, call the internal tracing API via the bench package.)
+	// DefaultPivotTol; see ZeroTol for the literal ε = 0 variant.
 	PivotTol float64
-	// Workers bounds the number of OS threads the dense kernels may use;
-	// 0 means all available cores. The bound is process-global for the
-	// duration of the call, so concurrent factorizations with *different*
-	// non-zero Workers values interfere; concurrent calls with Workers=0
-	// are safe.
+	// ZeroTol selects the paper's ε = 0 variant of P-Chol-CP: every pivot
+	// the partial Cholesky can numerically complete is accepted, so the
+	// factorization finishes in very few iterations. The paper (§III-D2,
+	// Fig. 2) shows this is unstable: accepted pivots may carry O(1)
+	// relative error for ill-conditioned matrices, and the pivot sequence
+	// can diverge from Householder QRCP. Provided for experimentation;
+	// production callers should keep ε at DefaultPivotTol.
+	ZeroTol bool
+	// Workers bounds the parallel width of this call's dense kernels;
+	// 0 inherits the engine's width (all available cores on the default
+	// engine). The bound is per-call state carried by an internal engine,
+	// so concurrent factorizations with different Workers values do not
+	// interfere.
 	Workers int
 }
 
 func (o *Options) tol() float64 {
-	if o == nil || o.PivotTol == 0 {
+	if o == nil {
+		return DefaultPivotTol
+	}
+	if o.ZeroTol {
+		return 0
+	}
+	if o.PivotTol == 0 {
 		return DefaultPivotTol
 	}
 	return o.PivotTol
 }
 
-// withWorkers runs f under the requested parallel width.
-func withWorkers(o *Options, f func()) {
-	if o == nil || o.Workers == 0 {
-		f()
-		return
-	}
-	prev := parallel.SetMaxWorkers(o.Workers)
-	defer parallel.SetMaxWorkers(prev)
-	f()
-}
-
-// Factorization is a QR factorization with column pivoting,
+// Factorization is a pivoted QR factorization
 //
 //	A·P = Q·R,
 //
-// with Q m×n orthonormal, R n×n upper triangular with non-increasing
-// |R(j,j)|, and P the permutation that makes the factorization
-// rank-revealing.
+// with Q having orthonormal columns, R upper triangular with
+// non-increasing |R(j,j)|, and P the permutation that makes the
+// factorization rank-revealing. A full factorization (QRCP,
+// HouseholderQRCP, StrongRRQR) has Q m×n, R n×n, and Rank = n; a
+// truncated one (QRCPTruncated) has Q m×k, R k×n, and Rank = k with
+// A·P ≈ Q·R a rank-k approximation.
 type Factorization struct {
 	// Q has orthonormal columns.
 	Q *mat.Dense
@@ -70,15 +73,23 @@ type Factorization struct {
 	// Perm maps position j to the original column index:
 	// (A·P)(:, j) = A(:, Perm[j]).
 	Perm mat.Perm
+	// Rank is the number of columns actually factored: n for a full
+	// factorization, or the (possibly smaller than requested) truncation
+	// rank for QRCPTruncated.
+	Rank int
 	// Iterations is the number of pivoting iterations Ite-CholQR-CP used
 	// (0 for the Householder baseline).
 	Iterations int
 }
 
-// Rank estimates the numerical rank from the diagonal of R: the number of
-// leading diagonals with |R(j,j)| > tol·|R(0,0)|. With tol ≤ 0 a default
-// of n·u is used.
-func (f *Factorization) Rank(tol float64) int {
+// TruncatedFactorization is the historical name for a rank-k truncated
+// result; full and truncated factorizations now share one shape.
+type TruncatedFactorization = Factorization
+
+// NumericalRank estimates the numerical rank from the diagonal of R: the
+// number of leading diagonals with |R(j,j)| > tol·|R(0,0)|. With tol ≤ 0
+// a default of n·u is used.
+func (f *Factorization) NumericalRank(tol float64) int {
 	n := f.R.Rows
 	if n == 0 {
 		return 0
@@ -88,7 +99,7 @@ func (f *Factorization) Rank(tol float64) int {
 		return 0
 	}
 	if tol <= 0 {
-		tol = float64(n) * 2.220446049250313e-16
+		tol = float64(n) * mat.Eps
 	}
 	k := 0
 	for j := 0; j < n; j++ {
@@ -101,22 +112,27 @@ func (f *Factorization) Rank(tol float64) int {
 	return k
 }
 
+// Reconstruct returns Q·R·Pᵀ ≈ A: the original matrix (up to rounding)
+// for a full factorization, its rank-Rank approximation for a truncated
+// one, in the original column order.
+func (f *Factorization) Reconstruct() *mat.Dense {
+	m, n := f.Q.Rows, f.R.Cols
+	qr := mat.NewDense(m, n)
+	mulInto(qr, f.Q, f.R)
+	out := mat.NewDense(m, n)
+	mat.PermuteCols(out, qr, f.Perm.Inverse())
+	return out
+}
+
 // QRCP computes the QR factorization with column pivoting of a tall-skinny
-// matrix (m ≥ n) using the paper's Ite-CholQR-CP algorithm. The input is
-// not modified. Accuracy matches Householder QRCP (including the pivot
-// sequence) for condition numbers up to ~10¹⁶.
+// matrix (m ≥ n) using the paper's Ite-CholQR-CP algorithm on the default
+// engine. The input is not modified. Accuracy matches Householder QRCP
+// (including the pivot sequence) for condition numbers up to ~10¹⁶.
+//
+// Equivalent to DefaultEngine().QRCP(a, opts); use an explicit Engine for
+// cancellation or to pin a width for the engine's lifetime.
 func QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
-	sp := trace.Region(trace.StageTotal)
-	defer sp.End()
-	var res *core.CPResult
-	var err error
-	withWorkers(opts, func() {
-		res, err = core.IteCholQRCP(a, opts.tol())
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm, Iterations: res.Iterations}, nil
+	return DefaultEngine().QRCP(a, opts)
 }
 
 // HouseholderQRCP computes the same factorization with the conventional
@@ -125,25 +141,7 @@ func QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
 // but roughly half its flops are Level-2 and it does not scale on
 // distributed systems.
 func HouseholderQRCP(a *mat.Dense, opts *Options) *Factorization {
-	sp := trace.Region(trace.StageTotal)
-	defer sp.End()
-	var res *core.CPResult
-	withWorkers(opts, func() {
-		res = core.HQRCP(a)
-	})
-	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm}
-}
-
-// TruncatedFactorization is a rank-k pivoted factorization A·P ≈ Q·R with
-// Q m×k and R k×n; the approximation error is ≈ σ_(k+1)(A).
-type TruncatedFactorization struct {
-	Q    *mat.Dense
-	R    *mat.Dense
-	Perm mat.Perm
-	// Rank is the number of columns actually factored: the requested k,
-	// or less when the matrix's numerical rank is smaller.
-	Rank       int
-	Iterations int
+	return DefaultEngine().HouseholderQRCP(a, opts)
 }
 
 // QRCPTruncated computes a rank-k truncated pivoted QR factorization —
@@ -151,30 +149,8 @@ type TruncatedFactorization struct {
 // as k trustworthy pivots are fixed. This avoids orthogonalizing the
 // trailing columns entirely, the structural advantage over "QR first,
 // then pivot R" approaches that the paper points out in §V.
-func QRCPTruncated(a *mat.Dense, k int, opts *Options) (*TruncatedFactorization, error) {
-	sp := trace.Region(trace.StageTotal)
-	defer sp.End()
-	var res *core.PartialResult
-	var err error
-	withWorkers(opts, func() {
-		res, err = core.IteCholQRCPPartial(a, opts.tol(), k)
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &TruncatedFactorization{Q: res.Q, R: res.R, Perm: res.Perm,
-		Rank: res.Rank, Iterations: res.Iterations}, nil
-}
-
-// Reconstruct returns Q·R·Pᵀ ≈ A, the rank-Rank approximation of the
-// original matrix in its original column order.
-func (tf *TruncatedFactorization) Reconstruct() *mat.Dense {
-	m, n := tf.Q.Rows, tf.R.Cols
-	qr := mat.NewDense(m, n)
-	mulInto(qr, tf.Q, tf.R)
-	out := mat.NewDense(m, n)
-	mat.PermuteCols(out, qr, tf.Perm.Inverse())
-	return out
+func QRCPTruncated(a *mat.Dense, k int, opts *Options) (*Factorization, error) {
+	return DefaultEngine().QRCPTruncated(a, k, opts)
 }
 
 // QR is an unpivoted thin QR factorization A = Q·R.
@@ -187,7 +163,7 @@ type QR struct {
 // (Algorithm 2). Fastest, but Q loses orthogonality like u·κ₂(A)² and the
 // algorithm fails for κ₂(A) ≳ 10⁸.
 func CholeskyQR(a *mat.Dense) (*QR, error) {
-	qr, err := core.CholQR(a)
+	qr, err := core.CholQR(nil, a)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +173,7 @@ func CholeskyQR(a *mat.Dense) (*QR, error) {
 // CholeskyQR2 computes the thin QR factorization with one
 // reorthogonalization pass; Householder-level accuracy for κ₂(A) ≲ 10⁸.
 func CholeskyQR2(a *mat.Dense) (*QR, error) {
-	qr, err := core.CholQR2(a)
+	qr, err := core.CholQR2(nil, a)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +184,7 @@ func CholeskyQR2(a *mat.Dense) (*QR, error) {
 // ill-conditioned matrices (κ₂(A) up to ~10¹⁶) via a shifted
 // preconditioning pass followed by CholeskyQR2.
 func ShiftedCholeskyQR3(a *mat.Dense) (*QR, error) {
-	qr, err := core.ShiftedCholQR3(a)
+	qr, err := core.ShiftedCholQR3(nil, a)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +194,7 @@ func ShiftedCholeskyQR3(a *mat.Dense) (*QR, error) {
 // HouseholderQR computes the thin QR factorization by blocked Householder
 // reflections — the unconditionally stable reference.
 func HouseholderQR(a *mat.Dense) *QR {
-	qr := core.HouseholderQR(a)
+	qr := core.HouseholderQR(nil, a)
 	return &QR{Q: qr.Q, R: qr.R}
 }
 
@@ -226,7 +202,7 @@ func HouseholderQR(a *mat.Dense) *QR {
 // Householder reduction tree (Demmel et al.) — unconditionally stable
 // like HouseholderQR, with CholeskyQR-like O(1) collective structure.
 func TSQR(a *mat.Dense) *QR {
-	qr := core.TSQR(a)
+	qr := core.TSQR(nil, a)
 	return &QR{Q: qr.Q, R: qr.R}
 }
 
@@ -234,7 +210,7 @@ func TSQR(a *mat.Dense) *QR {
 // (Terao–Ozaki–Ogita): an LU factorization with partial pivoting
 // preconditions the matrix so Cholesky QR succeeds for any κ₂(A).
 func LUCholeskyQR2(a *mat.Dense) (*QR, error) {
-	qr, err := core.LUCholQR2(a)
+	qr, err := core.LUCholQR2(nil, a)
 	if err != nil {
 		return nil, err
 	}
@@ -251,11 +227,11 @@ func StrongRRQR(a *mat.Dense, k int, f float64) (*Factorization, error) {
 	if f <= 0 {
 		f = core.DefaultStrongRRQRF
 	}
-	res, err := core.StrongRRQR(a, k, f)
+	res, err := core.StrongRRQR(nil, a, k, f)
 	if err != nil {
 		return nil, err
 	}
-	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm}, nil
+	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm, Rank: a.Cols}, nil
 }
 
 // mulInto computes dst = a·b with dst pre-shaped (helper that avoids

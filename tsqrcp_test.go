@@ -60,10 +60,10 @@ func TestRankEstimate(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := f.Rank(1e-8); got != r {
+		if got := f.NumericalRank(1e-8); got != r {
 			t.Fatalf("Rank = %d, want %d", got, r)
 		}
-		if got := f.Rank(0); got != r { // default tolerance
+		if got := f.NumericalRank(0); got != r { // default tolerance
 			t.Fatalf("Rank(default) = %d, want %d", got, r)
 		}
 	}
@@ -71,11 +71,11 @@ func TestRankEstimate(t *testing.T) {
 
 func TestRankEdgeCases(t *testing.T) {
 	f := &Factorization{R: mat.NewDense(3, 3)}
-	if f.Rank(0) != 0 {
+	if f.NumericalRank(0) != 0 {
 		t.Fatal("zero R must have rank 0")
 	}
 	f = &Factorization{R: mat.NewDense(0, 0)}
-	if f.Rank(0) != 0 {
+	if f.NumericalRank(0) != 0 {
 		t.Fatal("empty R must have rank 0")
 	}
 }
