@@ -4,16 +4,21 @@ GO ?= go
 COVER_MIN ?= 70
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: all ci build fmt-check vet test race bench bench-json bench-smoke \
-	cover cover-gate repro repro-paper examples clean
+.PHONY: all ci build lint fmt-check vet repolint test test-debug race \
+	bench bench-json bench-smoke cover cover-gate repro repro-paper \
+	examples clean
 
 all: build vet test
 
 # Everything the CI workflow runs, in the same order: the lint job
-# (fmt-check + vet), the test job, the race job, the coverage gate, and
-# the benchmark smoke gate. Green here ⇒ green on CI (modulo runner noise
-# on bench-smoke, which CI loosens via BENCH_TOLERANCE).
-ci: fmt-check vet build test race cover-gate bench-smoke
+# (fmt-check + vet + repolint), the test job, the debugchecks smoke run,
+# the race job, the coverage gate, and the benchmark smoke gate. Green
+# here ⇒ green on CI (modulo runner noise on bench-smoke, which CI
+# loosens via BENCH_TOLERANCE).
+ci: lint build test test-debug race cover-gate bench-smoke
+
+# Formatting, go vet, and the repo-specific static analyzer (DESIGN.md §7).
+lint: fmt-check vet repolint
 
 build:
 	$(GO) build ./...
@@ -27,8 +32,20 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific invariants (workspace/span balance, engine threading,
+# float equality, rand hygiene, hot-path purity). Diagnostics print as
+# file:line:col: message [check]; suppress a finding with
+# //repolint:allow <check> — reason. See DESIGN.md §7.
+repolint:
+	$(GO) run ./cmd/repolint ./...
+
 test:
 	$(GO) test ./...
+
+# Re-run the suite with the debugchecks runtime assertions compiled in
+# (NaN/Inf scans at kernel boundaries, mat header guards).
+test-debug:
+	$(GO) test -tags debugchecks ./...
 
 race:
 	$(GO) test -race -timeout 10m . ./internal/... ./mat/ ./dist/

@@ -1,0 +1,59 @@
+package main
+
+// floatcmp flags == and != between floating-point operands. Exact
+// equality on computed floats silently breaks under roundoff — the
+// CQRRPT-style reliability analysis in PAPERS.md traces several QRCP
+// failures to exactly this — so comparisons must go through a tolerance
+// (mat.EqualApprox, metrics helpers) instead.
+//
+// Allowed without a suppression comment:
+//   - comparisons where either operand is a compile-time constant
+//     (alpha == 0 scaling fast paths, sentinel checks);
+//   - the x != x NaN idiom (both operands textually identical).
+//
+// Everything else needs //repolint:allow floatcmp with a justification.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func checkFloatCmp(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, be.X) || !isFloatOperand(info, be.Y) {
+				return true
+			}
+			if isConstExpr(info, be.X) || isConstExpr(info, be.Y) {
+				return true
+			}
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN self-comparison idiom
+			}
+			p.reportf(file, be.Pos(), "floating-point %s comparison between computed values; use a tolerance (e.g. mat.EqualApprox or an explicit epsilon)", be.Op)
+			return true
+		})
+	}
+}
+
+// isFloatOperand reports whether e has floating-point type.
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether e is a compile-time constant.
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,76 @@
+package main
+
+// hotpath enforces the //repolint:hotpath annotation: functions on the
+// Gram/TRSM/GEMM inner loops are the reason the steady-state iteration is
+// allocation-free (TestGramLargeStillAllocFree), so they must not call
+// the formatting and error-construction helpers that allocate — fmt.*,
+// log.*, errors.*, strconv.* — nor panic with a dynamically built
+// message. A constant-string panic is fine: it costs nothing until it
+// fires.
+//
+// Annotate a function by putting //repolint:hotpath on its own line in
+// the doc comment:
+//
+//	// gemmTNRange accumulates dst += alpha·A(lo:hi,:)ᵀ·B(lo:hi,:).
+//	//repolint:hotpath
+//	func gemmTNRange(...)
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// hotpathDeniedPkgs are packages whose every call allocates (formatting
+// machinery, error construction) and is therefore banned on hot paths.
+var hotpathDeniedPkgs = map[string]bool{
+	"fmt":     true,
+	"log":     true,
+	"errors":  true,
+	"strconv": true,
+}
+
+func checkHotPath(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil && len(call.Args) == 1 {
+					if !isConstExpr(info, call.Args[0]) {
+						p.reportf(file, call.Pos(), "hotpath function %s panics with a dynamically built message; use a constant string (formatting allocates on the hot path)", fd.Name.Name)
+					}
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if hotpathDeniedPkgs[fn.Pkg().Path()] {
+					p.reportf(file, call.Pos(), "hotpath function %s calls %s.%s, which allocates; hot-path kernels must stay allocation- and formatting-free", fd.Name.Name, fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isHotpathAnnotated reports whether fd's doc comment carries the
+// //repolint:hotpath marker.
+func isHotpathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), "//repolint:hotpath") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package main
+
+// norand guards the repo's determinism ground rule (CONTRIBUTING.md):
+// algorithms must be bit-reproducible for a fixed seed, so randomness has
+// to flow through an explicitly seeded *rand.Rand that the caller
+// controls. Drawing from math/rand's hidden global source — rand.Float64,
+// rand.Intn, rand.Perm, rand.Seed, … — is permitted only in testmat/ (the
+// designated reproducible-generator package) and in _test.go files.
+// Constructing local generators (rand.New, rand.NewSource, rand.NewZipf)
+// and threading *rand.Rand values is allowed everywhere.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randConstructors build explicit generators and are always allowed.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func checkNoRand(p *Pass) {
+	if p.Pkg.ImportPath == p.Mod.Path+"/testmat" {
+		return
+	}
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil || randConstructors[fn.Name()] {
+				return true
+			}
+			p.reportf(file, call.Pos(), "rand.%s draws from the global math/rand source (non-reproducible); thread a seeded *rand.Rand (testmat/ and _test.go files are exempt)", fn.Name())
+			return true
+		})
+	}
+}

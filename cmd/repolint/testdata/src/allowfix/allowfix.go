@@ -1,0 +1,18 @@
+// Package allowfix verifies //repolint:allow suppression: each function
+// below contains a finding that the adjacent comment silences, so the
+// golden test expects no diagnostics from this package.
+package allowfix
+
+func exactSentinelPrevLine(a, b float64) bool {
+	//repolint:allow floatcmp — sentinel equality is exact by construction
+	return a == b
+}
+
+func bitwiseSameLine(a, b float64) bool {
+	return a != b //repolint:allow floatcmp — bitwise comparison intended
+}
+
+func multiCheckList(a, b float64) bool {
+	//repolint:allow floatcmp,hotpath — comma-separated check list
+	return a == b
+}

@@ -1,0 +1,13 @@
+// Package bad seeds floatcmp violations.
+package bad
+
+func equalNorms(a, b float64) bool {
+	return a == b // want "floating-point == comparison between computed values"
+}
+
+func firstDiffers(xs []float64) int {
+	if xs[0] != xs[1] { // want "floating-point != comparison between computed values"
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,22 @@
+// Package good holds float comparisons that must not be flagged.
+package good
+
+import "math"
+
+const sentinel = -1.0
+
+func fastPath(alpha float64) bool {
+	return alpha == 0 // constant operand: scaling fast path
+}
+
+func isSentinel(x float64) bool {
+	return x == sentinel // named constant operand
+}
+
+func isNaN(x float64) bool {
+	return x != x // the NaN self-comparison idiom
+}
+
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}

@@ -1,0 +1,36 @@
+// Package bad seeds hotpath violations inside //repolint:hotpath
+// functions.
+package bad
+
+import "fmt"
+
+// axpyKernel is a pretend inner-loop kernel.
+//
+//repolint:hotpath
+func axpyKernel(alpha float64, x, y []float64) {
+	fmt.Println(len(x)) // want "hotpath function axpyKernel calls fmt.Println, which allocates"
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// dotKernel panics with a dynamically built message.
+//
+//repolint:hotpath
+func dotKernel(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("dot: " + lenStr(x)) // want "hotpath function dotKernel panics with a dynamically built message"
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func lenStr(x []float64) string {
+	if len(x) > 0 {
+		return "nonempty"
+	}
+	return "empty"
+}

@@ -1,0 +1,23 @@
+// Package good holds hotpath patterns that must not be flagged: constant
+// panics inside annotated kernels, and formatting in ordinary functions.
+package good
+
+import "fmt"
+
+// scaleKernel panics with a constant string, which costs nothing until
+// it fires.
+//
+//repolint:hotpath
+func scaleKernel(alpha float64, x []float64) {
+	if x == nil {
+		panic("scale: nil slice")
+	}
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// describe is not annotated, so formatting is fine here.
+func describe(x []float64) string {
+	return fmt.Sprintf("%d floats", len(x))
+}

@@ -1,0 +1,42 @@
+// Package blas seeds enginethread violations: it sits at the guarded
+// import path repro/internal/blas, calls a default-engine shim, and
+// exports a kernel that fans out without accepting an engine.
+package blas
+
+import "repro/internal/parallel"
+
+var pkgEngine = parallel.NewEngine(2)
+
+// Scale multiplies x by alpha in parallel through a package-global
+// engine, hiding the width from the caller.
+func Scale(x []float64, alpha float64) { // want "exported kernel Scale uses the parallel engine .* but does not accept"
+	pkgEngine.For(len(x), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= alpha
+		}
+	})
+}
+
+func setGlobalWidth(n int) {
+	parallel.SetMaxWorkers(n) // want "call to default-engine shim parallel.SetMaxWorkers"
+}
+
+func readGlobalWidth() int {
+	return parallel.MaxWorkers() // want "call to default-engine shim parallel.MaxWorkers"
+}
+
+// Axpy threads the engine explicitly, so it is not flagged even though
+// it fans out.
+func Axpy(e *parallel.Engine, alpha float64, x, y []float64) {
+	e.For(len(x), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
+}
+
+// splitIsAllowed uses parallel.Split, whose width is an explicit
+// argument rather than process-global state.
+func splitIsAllowed(n int) []int {
+	return parallel.Split(n, 4)
+}

@@ -1,0 +1,12 @@
+package blas
+
+import (
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func TestShimInKernelTest(t *testing.T) {
+	parallel.SetMaxWorkers(4) // want "call to default-engine shim parallel.SetMaxWorkers in a kernel-package test"
+	Axpy(parallel.NewEngine(1), 1, nil, nil)
+}

@@ -1,0 +1,19 @@
+// Package lapack is the passing enginethread fixture: a kernel package
+// whose exported entry points all thread the engine explicitly.
+package lapack
+
+import "repro/internal/parallel"
+
+// Apply fans body out over n items on the caller's engine.
+func Apply(e *parallel.Engine, n int, body func(lo, hi int)) {
+	e.For(n, 1, body)
+}
+
+// Sum is engine-free, so it needs no engine parameter.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}

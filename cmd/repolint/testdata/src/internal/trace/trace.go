@@ -1,0 +1,25 @@
+// Package trace stubs the span API of the real repro/internal/trace
+// package for the spanbalance fixtures.
+package trace
+
+// Stage identifies an instrumented pipeline stage.
+type Stage int
+
+// StageGram is the only stage the fixtures need.
+const StageGram Stage = 0
+
+// Span is an open region; it must be closed with End.
+type Span struct {
+	stage Stage
+	open  bool
+}
+
+// Region opens a span for stage s.
+func Region(s Stage) Span { return Span{stage: s, open: true} }
+
+// End closes the span.
+func (sp Span) End() { _ = sp }
+
+// Active reports whether the span is open (exists so fixtures can use a
+// span without releasing it).
+func (sp Span) Active() bool { return sp.open }

@@ -1,0 +1,13 @@
+// Package bad seeds norand violations: draws from the hidden global
+// math/rand source outside testmat/ and _test.go files.
+package bad
+
+import "math/rand"
+
+func noise() float64 {
+	return rand.Float64() // want "rand.Float64 draws from the global math/rand source"
+}
+
+func randomOrder(n int) []int {
+	return rand.Perm(n) // want "rand.Perm draws from the global math/rand source"
+}

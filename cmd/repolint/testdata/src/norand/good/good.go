@@ -1,0 +1,16 @@
+// Package good draws randomness the reproducible way: an explicitly
+// seeded *rand.Rand threaded through the call.
+package good
+
+import "math/rand"
+
+func noise(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func fill(rng *rand.Rand, x []float64) {
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+}

@@ -1,0 +1,25 @@
+// Package bad seeds spanbalance violations.
+package bad
+
+import "repro/internal/trace"
+
+func discardedSpan() {
+	trace.Region(trace.StageGram) // want "result of internal/trace.Region is discarded"
+}
+
+func neverEnded(n int) int {
+	sp := trace.Region(trace.StageGram) // want "trace span \"sp\" acquired by internal/trace.Region is never released"
+	if sp.Active() && n > 0 {
+		return n
+	}
+	return 0
+}
+
+func leakOnErrorReturn(n int) int {
+	sp := trace.Region(trace.StageGram)
+	if n < 0 {
+		return -1 // want "return leaks trace span \"sp\""
+	}
+	sp.End()
+	return n
+}

@@ -1,0 +1,35 @@
+// Package good holds spanbalance patterns that must not be flagged.
+package good
+
+import "repro/internal/trace"
+
+func deferredEnd(n int) int {
+	sp := trace.Region(trace.StageGram)
+	defer sp.End()
+	if n < 0 {
+		return -1
+	}
+	return n
+}
+
+func straightLineEnd() {
+	sp := trace.Region(trace.StageGram)
+	sp.End()
+}
+
+func deferredClosureEnd() {
+	sp := trace.Region(trace.StageGram)
+	defer func() {
+		sp.End()
+	}()
+}
+
+func endBeforeEveryReturn(n int) int {
+	sp := trace.Region(trace.StageGram)
+	if n < 0 {
+		sp.End()
+		return -1
+	}
+	sp.End()
+	return n
+}

@@ -1,0 +1,30 @@
+// Package bad seeds workspacebalance violations.
+package bad
+
+import "repro/mat"
+
+func discardedResult(r, c int) {
+	mat.GetWorkspace(r, c, false) // want "result of mat.GetWorkspace is discarded"
+}
+
+func blankAssigned(n int) {
+	_ = mat.GetFloats(n, true) // want "result of mat.GetFloats is discarded"
+}
+
+func neverReleased(n int) float64 {
+	buf := mat.GetFloats(n, true) // want "pooled workspace \"buf\" acquired by mat.GetFloats is never released"
+	s := 0.0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+func leakOnEarlyReturn(n int) int {
+	buf := mat.GetFloats(n, false)
+	if n > 10 {
+		return 0 // want "return leaks pooled workspace \"buf\""
+	}
+	mat.PutFloats(buf)
+	return 1
+}

@@ -1,0 +1,37 @@
+// Package good holds workspacebalance patterns that must not be flagged.
+package good
+
+import "repro/mat"
+
+func deferredRelease(n int) float64 {
+	buf := mat.GetFloats(n, true)
+	defer mat.PutFloats(buf)
+	s := 0.0
+	for _, v := range buf {
+		s += v
+	}
+	return s
+}
+
+func straightLineRelease(r, c int) {
+	w := mat.GetWorkspace(r, c, true)
+	w.Data[0] = 1
+	mat.PutWorkspace(w)
+}
+
+func releaseBeforeEveryReturn(n int) int {
+	buf := mat.GetFloats(n, false)
+	if n > 10 {
+		mat.PutFloats(buf)
+		return 0
+	}
+	mat.PutFloats(buf)
+	return 1
+}
+
+// ownershipTransferred returns the buffer: the caller now owns the
+// release, so the acquiring function is not flagged.
+func ownershipTransferred(n int) []float64 {
+	buf := mat.GetFloats(n, true)
+	return buf
+}

@@ -138,6 +138,7 @@ func gemmNNNarrow(alpha float64, a, b, c *mat.Dense, lo, hi int) {
 	}
 }
 
+//repolint:hotpath
 func gemmNNPacked(alpha float64, a, b, c *mat.Dense, lo, hi int) {
 	n, k := c.Cols, a.Cols
 	packed := mat.GetFloats(kBlock*nBlock, false)
@@ -224,6 +225,8 @@ func gemmTN(e *parallel.Engine, alpha float64, a, b, c *mat.Dense) {
 // gemmTNRange accumulates dst += alpha·A(lo:hi,:)ᵀ·B(lo:hi,:). Four
 // summation rows are consumed together: each dst-row update then amortizes
 // its load/store over four multiply-adds.
+//
+//repolint:hotpath
 func gemmTNRange(alpha float64, a, b *mat.Dense, lo, hi int, dst *mat.Dense) {
 	n := dst.Cols
 	l := lo

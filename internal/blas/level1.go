@@ -3,6 +3,8 @@ package blas
 import "math"
 
 // Dot returns xᵀy for equal-length contiguous vectors.
+//
+//repolint:hotpath
 func Dot(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic("blas: Dot length mismatch")
@@ -15,6 +17,8 @@ func Dot(x, y []float64) float64 {
 }
 
 // Axpy computes y += alpha·x.
+//
+//repolint:hotpath
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("blas: Axpy length mismatch")

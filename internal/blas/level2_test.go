@@ -46,12 +46,10 @@ func TestGemvLargeParallelMatchesSequential(t *testing.T) {
 		x[i] = rng.NormFloat64()
 	}
 	yPar := make([]float64, 33)
-	Gemv(nil, Trans, 1.5, a, x, 0, yPar)
+	Gemv(parallel.NewEngine(4), Trans, 1.5, a, x, 0, yPar)
 
-	prev := parallel.SetMaxWorkers(1)
 	ySeq := make([]float64, 33)
-	Gemv(nil, Trans, 1.5, a, x, 0, ySeq)
-	parallel.SetMaxWorkers(prev)
+	Gemv(parallel.NewEngine(1), Trans, 1.5, a, x, 0, ySeq)
 
 	for j := range yPar {
 		if math.Abs(yPar[j]-ySeq[j]) > 1e-9*(1+math.Abs(ySeq[j])) {

@@ -86,12 +86,10 @@ func TestGemmLargeParallelTall(t *testing.T) {
 	a := randDense(rng, m, n)
 	b := randDense(rng, m, n)
 	c := mat.NewDense(n, n)
-	Gemm(nil, Trans, NoTrans, 1, a, b, 0, c)
+	Gemm(parallel.NewEngine(4), Trans, NoTrans, 1, a, b, 0, c)
 
-	prev := parallel.SetMaxWorkers(1)
 	want := mat.NewDense(n, n)
-	Gemm(nil, Trans, NoTrans, 1, a, b, 0, want)
-	parallel.SetMaxWorkers(prev)
+	Gemm(parallel.NewEngine(1), Trans, NoTrans, 1, a, b, 0, want)
 
 	if !mat.EqualApprox(c, want, 1e-8) {
 		t.Fatal("parallel Aᵀ·B reduction disagrees with sequential")
@@ -104,11 +102,9 @@ func TestGemmLargeParallelNN(t *testing.T) {
 	a := randDense(rng, m, k)
 	b := randDense(rng, k, n)
 	c := mat.NewDense(m, n)
-	Gemm(nil, NoTrans, NoTrans, 1, a, b, 0, c)
-	prev := parallel.SetMaxWorkers(1)
+	Gemm(parallel.NewEngine(4), NoTrans, NoTrans, 1, a, b, 0, c)
 	want := mat.NewDense(m, n)
-	Gemm(nil, NoTrans, NoTrans, 1, a, b, 0, want)
-	parallel.SetMaxWorkers(prev)
+	Gemm(parallel.NewEngine(1), NoTrans, NoTrans, 1, a, b, 0, want)
 	if !mat.EqualApprox(c, want, 1e-9) {
 		t.Fatal("parallel NN gemm disagrees with sequential")
 	}

@@ -71,11 +71,8 @@ func TestGemmTTParallelMatchesSequential(t *testing.T) {
 	b := randDense(rng, n, k)
 	c1 := randDense(rng, m, n)
 	c2 := c1.Clone()
-	prev := parallel.SetMaxWorkers(4)
-	Gemm(nil, Trans, Trans, 1, a, b, 1, c1)
-	parallel.SetMaxWorkers(1)
-	Gemm(nil, Trans, Trans, 1, a, b, 1, c2)
-	parallel.SetMaxWorkers(prev)
+	Gemm(parallel.NewEngine(4), Trans, Trans, 1, a, b, 1, c1)
+	Gemm(parallel.NewEngine(1), Trans, Trans, 1, a, b, 1, c2)
 	matsClose(t, c1, c2, 1e-13*float64(k), "gemmTT parallel vs sequential")
 }
 
@@ -113,11 +110,8 @@ func TestSyrkWideNParallelMatchesSequential(t *testing.T) {
 	a := randDense(rng, m, n)
 	c1 := mat.NewDense(n, n)
 	c2 := mat.NewDense(n, n)
-	prev := parallel.SetMaxWorkers(4)
-	SyrkUpperTrans(nil, 1, a, 0, c1)
-	parallel.SetMaxWorkers(1)
-	SyrkUpperTrans(nil, 1, a, 0, c2)
-	parallel.SetMaxWorkers(prev)
+	SyrkUpperTrans(parallel.NewEngine(4), 1, a, 0, c1)
+	SyrkUpperTrans(parallel.NewEngine(1), 1, a, 0, c2)
 	matsClose(t, c1, c2, 1e-13*float64(m), "syrk parallel vs sequential")
 }
 
@@ -142,8 +136,7 @@ func TestMulFlopsSaturates(t *testing.T) {
 // TestGramLargeStillAllocFree guards the allocation-free invariant of the
 // sequential Gram/TRSM hot path that Ite-CholQR-CP iterates over.
 func TestGramLargeStillAllocFree(t *testing.T) {
-	prev := parallel.SetMaxWorkers(1)
-	defer parallel.SetMaxWorkers(prev)
+	seq := parallel.NewEngine(1)
 	rng := rand.New(rand.NewSource(12))
 	a := randDense(rng, 2000, 64)
 	w := mat.NewDense(64, 64)
@@ -155,8 +148,8 @@ func TestGramLargeStillAllocFree(t *testing.T) {
 		}
 	}
 	allocs := testing.AllocsPerRun(10, func() {
-		Gram(nil, w, a)
-		TrsmRightUpperNoTrans(nil, a, r)
+		Gram(seq, w, a)
+		TrsmRightUpperNoTrans(seq, a, r)
 	})
 	if allocs > 0 {
 		t.Fatalf("sequential Gram+TRSM allocated %.1f times per run, want 0", allocs)

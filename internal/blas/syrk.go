@@ -90,6 +90,8 @@ func syrkRange(alpha float64, a *mat.Dense, lo, hi int, dst *mat.Dense) {
 
 // syrkTile accumulates the columns [j0, j1) of the upper triangle of
 // dst += alpha·AᵀA over summation rows [lo, hi).
+//
+//repolint:hotpath
 func syrkTile(alpha float64, a *mat.Dense, j0, j1, lo, hi int, dst *mat.Dense) {
 	l := lo
 	for ; l+4 <= hi; l += 4 {

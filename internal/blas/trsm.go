@@ -45,6 +45,8 @@ func TrsmRightUpperNoTrans(e *parallel.Engine, b, r *mat.Dense) {
 // trsmRightRange solves rows [lo, hi) of B := B·R⁻¹. Four B rows are
 // solved together so each R row streamed from cache feeds four independent
 // substitution chains (register blocking + ILP).
+//
+//repolint:hotpath
 func trsmRightRange(b, r *mat.Dense, lo, hi int) {
 	n := b.Cols
 	i := lo

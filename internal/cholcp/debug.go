@@ -1,0 +1,20 @@
+package cholcp
+
+import (
+	"fmt"
+
+	"repro/mat"
+)
+
+// debugCheckFinite panics when w contains a NaN or ±Inf. The Cholesky
+// contract assumes W = AᵀA for finite A; a non-finite W means an upstream
+// kernel already produced garbage, and under the debugchecks build tag we
+// fail loudly at the boundary instead of reporting it later as a
+// breakdown (P-Chol-CP's graceful handling remains the production-build
+// behavior). Callers gate this behind debugChecksEnabled so normal builds
+// pay nothing.
+func debugCheckFinite(ctx string, w *mat.Dense) {
+	if i, j, found := mat.FirstNonFinite(w); found {
+		panic(fmt.Sprintf("cholcp: debugchecks: %s contains non-finite value at (%d,%d)", ctx, i, j))
+	}
+}

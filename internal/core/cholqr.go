@@ -77,6 +77,9 @@ func CholQRInPlaceGram(e *parallel.Engine, a *mat.Dense, gram GramFunc) (*mat.De
 	gram(w, a)
 	sg.End()
 	trace.AddFlops(trace.StageGram, 2*int64(a.Rows)*int64(n)*int64(n))
+	if debugChecksEnabled {
+		debugCheckFinite("CholQR Gram matrix", w)
+	}
 	sc := trace.Region(trace.StageCholCP)
 	err := lapack.PotrfUpper(e, w)
 	sc.End()

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/mat"
+)
+
+// debugCheckFinite panics when m holds a NaN or ±Inf — the debugchecks
+// sanitizer for the Gram-matrix path. In production builds non-finite
+// Gram matrices flow into P-Chol-CP, break down, and surface as
+// ErrBreakdown/ErrStall; under -tags debugchecks we instead stop at the
+// first kernel boundary that saw the bad value, which pins the origin of
+// the corruption. Callers gate this behind debugChecksEnabled.
+func debugCheckFinite(ctx string, m *mat.Dense) {
+	if i, j, found := mat.FirstNonFinite(m); found {
+		panic(fmt.Sprintf("core: debugchecks: %s contains non-finite value at (%d,%d)", ctx, i, j))
+	}
+}

@@ -249,6 +249,9 @@ func mustPanicC(t *testing.T, f func()) {
 
 func TestIteCholQRCPNaNInputFailsCleanly(t *testing.T) {
 	// Non-finite input must produce an error, never a hang or panic.
+	if debugChecksEnabled {
+		t.Skip("debugchecks converts the graceful non-finite error path into a deliberate panic")
+	}
 	rng := rand.New(rand.NewSource(128))
 	a := testmat.GenerateWellConditioned(rng, 100, 8, 10)
 	a.Set(50, 3, math.NaN())

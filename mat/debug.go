@@ -1,0 +1,49 @@
+// Sanitizer-style runtime assertions, compiled in only with the
+// `debugchecks` build tag (see debugchecks_on.go / debugchecks_off.go).
+// In normal builds debugChecksEnabled is a false constant, every guard
+// below sits behind `if debugChecksEnabled`, and the compiler removes the
+// calls entirely — the hot path pays nothing.
+
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// FirstNonFinite scans m in row-major order and returns the indices of
+// the first NaN or ±Inf element. found is false when every element is
+// finite. The scan is O(Rows·Cols) and allocation-free; the debugchecks
+// assertions in the Cholesky pipeline use it to catch non-finite values
+// at kernel boundaries instead of letting them surface as a downstream
+// breakdown.
+func FirstNonFinite(m *Dense) (i, j int, found bool) {
+	for i = 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Stride : i*m.Stride+m.Cols]
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return i, j, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// debugCheckHeader panics when m's header is internally inconsistent: a
+// negative dimension, a stride narrower than the column count, or a
+// backing slice too short to hold the last row. Callers gate it behind
+// debugChecksEnabled.
+func (m *Dense) debugCheckHeader(ctx string) {
+	if m.Rows < 0 || m.Cols < 0 {
+		panic(fmt.Sprintf("mat: debugchecks: %s on %d×%d matrix (negative dimension)", ctx, m.Rows, m.Cols))
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return
+	}
+	if m.Stride < m.Cols {
+		panic(fmt.Sprintf("mat: debugchecks: %s on %d×%d matrix with stride %d < cols", ctx, m.Rows, m.Cols, m.Stride))
+	}
+	if need := (m.Rows-1)*m.Stride + m.Cols; len(m.Data) < need {
+		panic(fmt.Sprintf("mat: debugchecks: %s on %d×%d matrix: backing slice length %d < %d", ctx, m.Rows, m.Cols, len(m.Data), need))
+	}
+}

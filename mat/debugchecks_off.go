@@ -1,0 +1,8 @@
+//go:build !debugchecks
+
+package mat
+
+// debugChecksEnabled gates the sanitizer assertions in debug.go. In
+// normal builds it is a false constant, so every guarded check is
+// eliminated at compile time.
+const debugChecksEnabled = false

@@ -1,0 +1,8 @@
+//go:build debugchecks
+
+package mat
+
+// debugChecksEnabled gates the sanitizer assertions in debug.go. Build
+// with `-tags debugchecks` to turn header-consistency guards and the
+// non-finite scans on.
+const debugChecksEnabled = true

@@ -101,6 +101,9 @@ func (m *Dense) SetCol(j int, src []float64) {
 // Slice returns a view of rows [i0,i1) and columns [j0,j1). The view shares
 // storage with m; writes through either are visible in both.
 func (m *Dense) Slice(i0, i1, j0, j1 int) *Dense {
+	if debugChecksEnabled {
+		m.debugCheckHeader("Slice")
+	}
 	if i0 < 0 || i1 < i0 || i1 > m.Rows || j0 < 0 || j1 < j0 || j1 > m.Cols {
 		panic(fmt.Sprintf("mat: Slice(%d,%d,%d,%d) out of range %d×%d", i0, i1, j0, j1, m.Rows, m.Cols))
 	}
@@ -129,6 +132,10 @@ func (m *Dense) Clone() *Dense {
 
 // Copy copies src into m; dimensions must match exactly.
 func (m *Dense) Copy(src *Dense) {
+	if debugChecksEnabled {
+		m.debugCheckHeader("Copy dst")
+		src.debugCheckHeader("Copy src")
+	}
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("mat: Copy %d×%d into %d×%d", src.Rows, src.Cols, m.Rows, m.Cols))
 	}
