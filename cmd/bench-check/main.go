@@ -37,6 +37,10 @@ type record struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFLOPS      float64 `json:"gflops"`
+	// Gbps is the effective DRAM rate of the memory-bound fused-kernel
+	// comparison rows (PermTrsmGram*). Informational: those rows carry
+	// flop attribution and are gated on GFLOP/s.
+	Gbps float64 `json:"gbps,omitempty"`
 	// ProblemsPerSec is set on batch rows (QRCPBatch): completed
 	// factorizations per second; gated like GFLOP/s (higher is better).
 	ProblemsPerSec float64 `json:"problems_per_sec,omitempty"`
@@ -95,6 +99,8 @@ func validate(path string, rep *report) []string {
 			bad("record %d (%s): non-positive ns_per_op %g", i, r.Name, r.NsPerOp)
 		case r.GFLOPS < 0:
 			bad("record %d (%s): negative gflops", i, r.Name)
+		case r.Gbps < 0:
+			bad("record %d (%s): negative gbps", i, r.Name)
 		case r.ProblemsPerSec < 0:
 			bad("record %d (%s): negative problems_per_sec", i, r.Name)
 		}

@@ -46,6 +46,12 @@ type record struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	GFLOPS      float64 `json:"gflops"`
+	// Gbps is the effective DRAM traffic rate (attributed bytes moved per
+	// wall-clock nanosecond ≡ GB/s), set on the memory-bound fused-kernel
+	// comparison rows only. It makes the point of the fusion visible in
+	// the JSON: the fused row moves 16·m·n bytes where the unfused
+	// sequence moves 40·m·n, at similar GB/s.
+	Gbps float64 `json:"gbps,omitempty"`
 	// ProblemsPerSec is set on batch rows only: factorizations completed
 	// per second across the whole batch.
 	ProblemsPerSec float64 `json:"problems_per_sec,omitempty"`
@@ -250,6 +256,53 @@ func main() {
 		if *traced {
 			rep.Records = append(rep.Records, stageRows(a, m, n, 3)...)
 		}
+	}
+
+	// Fused permute→TRSM→Gram pass vs the separate three-sweep sequence on
+	// the memory-bound tall-skinny shape. Both rows attribute the same flop
+	// count (the TRSM's m·n² plus the SYRK's m·n·(n+1)), so their GFLOP/s
+	// ratio IS the wall-clock speedup bench-check gates; gbps reports each
+	// variant's effective DRAM rate over its own attributed traffic
+	// (16·m·n bytes for the single fused sweep, 40·m·n for
+	// permute + TRSM + Gram). The shape is fixed so the quick CI smoke run
+	// produces the same row keys as the committed baseline.
+	{
+		const fusedM, fusedN = 1_000_000, 64
+		a := randDense(rng, fusedM, fusedN)
+		r := upperTriangular(rng, fusedN)
+		perm := mat.Perm(rng.Perm(fusedN))
+		work := mat.NewDense(fusedM, fusedN)
+		g := mat.NewDense(fusedN, fusedN)
+		flops := float64(fusedM)*float64(fusedN)*float64(fusedN) +
+			float64(fusedM)*float64(fusedN)*float64(fusedN+1)
+
+		fused := run("PermTrsmGramFused", fusedM, fusedN, flops, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work.Copy(a)
+				b.StartTimer()
+				blas.PermTrsmGramFused(nil, work, perm, r, g)
+			}
+		})
+		fused.Gbps = 16 * float64(fusedM) * float64(fusedN) / fused.NsPerOp
+		rep.Records = append(rep.Records, fused)
+
+		unfused := run("PermTrsmGramUnfused", fusedM, fusedN, flops, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				work.Copy(a)
+				b.StartTimer()
+				mat.PermuteColsInPlace(work, perm)
+				blas.TrsmRightUpperNoTrans(nil, work, r)
+				blas.Gram(nil, g, work)
+			}
+		})
+		unfused.Gbps = 40 * float64(fusedM) * float64(fusedN) / unfused.NsPerOp
+		rep.Records = append(rep.Records, unfused)
+		fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %36.2fx wall-clock speedup (%.1f / %.1f GB/s effective)\n",
+			"Fused vs unfused", fusedM, fusedN, unfused.NsPerOp/fused.NsPerOp, fused.Gbps, unfused.Gbps)
 	}
 
 	// Batch serving throughput: batchSize independent tall-skinny problems

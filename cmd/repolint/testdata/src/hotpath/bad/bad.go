@@ -34,3 +34,16 @@ func lenStr(x []float64) string {
 	}
 	return "empty"
 }
+
+// fusedGramKernel is a fused streaming kernel that narrates its progress,
+// which allocates on every micro-block.
+//
+//repolint:hotpath
+func fusedGramKernel(rows [][]float64, acc []float64) {
+	for i, row := range rows {
+		fmt.Printf("block %d\n", i) // want "hotpath function fusedGramKernel calls fmt.Printf, which allocates"
+		for j, v := range row {
+			acc[j] += v * v
+		}
+	}
+}

@@ -21,3 +21,29 @@ func scaleKernel(alpha float64, x []float64) {
 func describe(x []float64) string {
 	return fmt.Sprintf("%d floats", len(x))
 }
+
+// fusedStreamKernel mirrors the shape of blas.fusedSlotRange: a
+// micro-blocked streaming pass that gathers through a scratch row and
+// accumulates — allocation- and formatting-free, so it must not be
+// flagged.
+//
+//repolint:hotpath
+func fusedStreamKernel(rows [][]float64, perm []int, tmp []float64, acc []float64) {
+	const block = 4
+	for q := 0; q < len(rows); q += block {
+		qhi := q + block
+		if qhi > len(rows) {
+			qhi = len(rows)
+		}
+		for i := q; i < qhi; i++ {
+			row := rows[i]
+			copy(tmp, row)
+			for j, v := range perm {
+				row[j] = tmp[v]
+			}
+			for j, v := range row {
+				acc[j] += v * v
+			}
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Command trace-report runs one pivoted factorization under the
 // internal/trace instrumentation and emits the stage-level breakdown:
-// where the time went (Gram, CholCP, TRSM, Swap, Trmm), the kernel-level
+// where the time went (Gram, CholCP, TRSM, Swap, Trmm, Fused), the kernel-level
 // nesting underneath, event counters (iterations, ε-exits, workspace pool
 // hits), and per-worker utilization.
 //

@@ -43,6 +43,18 @@
 // Worker bounds are per-engine (and per-call via Options.Workers), never
 // process-global, so any number of engines can run concurrently.
 //
+// # Performance
+//
+// Tall-skinny factorizations are memory-bandwidth-bound, so the
+// steady-state iterations of Ite-CholQR-CP (and CholeskyQR2's middle
+// sweeps) run their column permute, triangular solve, and next Gram
+// matrix as one fused streaming pass over the tall matrix, cutting DRAM
+// traffic for those sweeps by 2.5× (DESIGN.md §10). The fused and
+// unfused paths agree to ULP level and the fused Gram reduction is
+// bit-identical for every worker count; set the TSQRCP_NO_FUSE
+// environment variable (read once at process start) to force the unfused
+// sweeps for A/B measurements.
+//
 // Supporting packages:
 //
 //	mat     — dense row-major matrices and permutations

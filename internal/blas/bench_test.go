@@ -64,6 +64,47 @@ func BenchmarkTrsmRight(b *testing.B) {
 	}
 }
 
+// BenchmarkPermTrsmGramFused measures the fused streaming pass against
+// the separate permute + TRSM + SYRK sequence it replaces (same flop
+// count, so the GFLOPS ratio is the wall-clock speedup). cmd/bench-kernels
+// runs the acceptance-sized m=1_000_000 comparison; this benchmark is the
+// quick-iteration version.
+func BenchmarkPermTrsmGramFused(b *testing.B) {
+	const m, n = 200000, 64
+	a := benchDense(m, n)
+	rng := rand.New(rand.NewSource(2))
+	r := upperTriangular(rng, n)
+	perm := mat.IdentityPerm(n)
+	for i := range perm {
+		j := i + rng.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	g := mat.NewDense(n, n)
+	flops := float64(m)*float64(n)*float64(n) + float64(m)*float64(n)*float64(n+1)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work := a.Clone()
+			b.StartTimer()
+			PermTrsmGramFused(nil, work, perm, r, g)
+			b.StopTimer()
+		}
+		b.StartTimer()
+		reportGFLOPS(b, flops)
+	})
+	b.Run("unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			work := a.Clone()
+			b.StartTimer()
+			mat.PermuteColsInPlace(work, perm)
+			TrsmRightUpperNoTrans(nil, work, r)
+			Gram(nil, g, work)
+			b.StopTimer()
+		}
+		b.StartTimer()
+		reportGFLOPS(b, flops)
+	})
+}
+
 func BenchmarkGemmNN(b *testing.B) {
 	const m, k, n = 4000, 256, 256
 	a := benchDense(m, k)

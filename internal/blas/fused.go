@@ -1,0 +1,370 @@
+package blas
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+	"repro/internal/trace"
+	"repro/mat"
+)
+
+// The fused permute→TRSM→Gram streaming pass. For tall-skinny m×n with
+// m ≫ n every stage of the Ite-CholQR-CP inner loop is memory-bandwidth
+// bound: the unfused sequence streams the full m×n working matrix from
+// DRAM five times per pivoting iteration (permute read+write, TRSM
+// read+write, next Gram read). Fusing the three into a single row-block
+// pass performs the column gather in L1, solves the block against R while
+// it is cache resident, and immediately accumulates its Gram
+// contribution, collapsing the five traversals to two (one read, one
+// write). See DESIGN.md §10 for the traffic model.
+const (
+	// fusedBlockRows is the micro-block height: one block of B rows is
+	// gathered, solved, and Gram-accumulated while it stays cache
+	// resident. Must be a multiple of the 4-row register quad so the
+	// quad grouping inside a slot is independent of the block loop.
+	fusedBlockRows = 64
+	// fusedMaxSlots is the fixed fan-out of the deterministic Gram
+	// reduction: the row range is partitioned into at most this many
+	// slots as a function of m only — never of the engine width — and
+	// the per-slot partial Grams are reduced in ascending slot order.
+	// Any engine width therefore produces bit-identical Gram results,
+	// the lockstep contract the replicated distributed steps rely on.
+	fusedMaxSlots = 16
+	// fusedMinSlotRows keeps slots tall enough that the per-slot n×n
+	// accumulator traffic stays negligible against the row streaming.
+	fusedMinSlotRows = 2048
+)
+
+// fusedSlots returns the reduction fan-out for an m-row pass: a function
+// of m alone, so the reduction shape (and hence the floating-point
+// summation order) is identical for every engine width.
+func fusedSlots(m int) int {
+	s := m / fusedMinSlotRows
+	if s < 1 {
+		return 1
+	}
+	if s > fusedMaxSlots {
+		return fusedMaxSlots
+	}
+	return s
+}
+
+// PermTrsmGramFused applies, in one streaming pass over the rows of B:
+//
+//	B := (B·P)·R⁻¹,   G := BᵀB   (the Gram of the updated B),
+//
+// where P is the column permutation perm ((B·P)(:,j) = B(:,perm[j]);
+// nil means identity) and R is n×n upper triangular. This fuses lines
+// 8–11 of Ite-CholQR-CP (Algorithm 4) with line 3 of the next iteration:
+// each row block is gathered, solved, and accumulated into a per-slot
+// Gram partial while it is cache resident, so B travels through DRAM
+// once per direction instead of five times for the unfused
+// permute + TRSM + SYRK sequence.
+//
+// The per-row permute is elementwise identical to
+// mat.PermuteColsInPlace; the solve and Gram use panel-blocked kernels
+// tuned for the cache-resident micro-block, so B and G agree with the
+// unfused TrsmRightUpperNoTrans + Gram results to rounding (a few ULP),
+// not bitwise. What IS bitwise fixed is the engine-width independence:
+// G is accumulated through a fixed-shape reduction (fusedSlots(m) slots
+// reduced in ascending order) and every kernel's summation order is a
+// function of the slot bounds alone, so engines of any width produce
+// bit-identical B and G, keeping distributed ranks in lockstep. G is
+// fully symmetric on return, like Gram.
+//
+// Panics if R has a zero diagonal entry, if perm is non-nil with a
+// length other than B's column count, or if G is not n×n. The engine e
+// bounds the parallel width (nil selects the default engine).
+func PermTrsmGramFused(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *mat.Dense) {
+	m, n := b.Rows, b.Cols
+	checkTriangular(r, n, "PermTrsmGramFused")
+	if g.Rows != n || g.Cols != n {
+		panic(fmt.Sprintf("blas: PermTrsmGramFused G %d×%d, want %d×%d", g.Rows, g.Cols, n, n))
+	}
+	if perm != nil && len(perm) != n {
+		panic(fmt.Sprintf("blas: PermTrsmGramFused perm length %d != cols %d", len(perm), n))
+	}
+	for k := 0; k < n; k++ {
+		if r.Data[k*r.Stride+k] == 0 {
+			panic(fmt.Sprintf("blas: PermTrsmGramFused singular R at diagonal %d", k))
+		}
+	}
+	g.Zero()
+	if m == 0 || n == 0 {
+		return
+	}
+	sp := trace.Region(trace.KernelFusedTrsmGram)
+	defer sp.End()
+	trace.AddFlops(trace.KernelFusedTrsmGram,
+		int64(m)*int64(n)*int64(n)+int64(m)*int64(n)*int64(n+1))
+	trace.AddBytes(trace.KernelFusedTrsmGram, 2*8*int64(m)*int64(n))
+
+	slots := fusedSlots(m)
+	w := e.Workers()
+	if w == 1 || slots == 1 || mulFlops(2, m, n, n) < gemmParallelFlops {
+		// Sequential path: one reusable accumulator, still reduced slot
+		// by slot in ascending order — the exact summation shape of the
+		// parallel path, so width 1 matches width k bit for bit. Slot
+		// bounds are computed arithmetically, and the gather scratch is a
+		// pooled 1×n Dense (PutFloats heap-escapes its header), keeping
+		// this path allocation free.
+		acc := mat.GetWorkspace(n, n, false)
+		tmp := mat.GetWorkspace(1, n, false)
+		for si := 0; si < slots; si++ {
+			lo, hi := fusedSlotBounds(m, slots, si)
+			acc.Zero()
+			fusedSlotRange(b, r, perm, lo, hi, acc, tmp.Data)
+			addUpper(g, acc)
+		}
+		mat.PutWorkspace(tmp)
+		mat.PutWorkspace(acc)
+		SymmetrizeFromUpper(g)
+		return
+	}
+
+	// Parallel path: workers claim contiguous slot subranges; every slot
+	// gets its own pooled accumulator, and the reduction into G walks the
+	// slots in ascending index order regardless of which worker filled
+	// them.
+	accs := make([]*mat.Dense, slots)
+	taskRanges := parallel.Split(slots, w, 1)
+	tasks := make([]func(), len(taskRanges))
+	for ti, tr := range taskRanges {
+		tasks[ti] = func() {
+			tmp := mat.GetWorkspace(1, n, false)
+			for si := tr.Lo; si < tr.Hi; si++ {
+				acc := mat.GetWorkspace(n, n, true)
+				lo, hi := fusedSlotBounds(m, slots, si)
+				fusedSlotRange(b, r, perm, lo, hi, acc, tmp.Data)
+				accs[si] = acc
+			}
+			mat.PutWorkspace(tmp)
+		}
+	}
+	e.Do(tasks...)
+	for _, acc := range accs {
+		addUpper(g, acc)
+		mat.PutWorkspace(acc)
+	}
+	SymmetrizeFromUpper(g)
+}
+
+// fusedSlotBounds returns the half-open row range of slot si out of slots,
+// matching parallel.Split(m, slots, 1) exactly (which both paths relied on
+// historically) without allocating the range slice.
+func fusedSlotBounds(m, slots, si int) (lo, hi int) {
+	chunk, rem := m/slots, m%slots
+	lo = si*chunk + min(si, rem)
+	hi = lo + chunk
+	if si < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// fusedSlotRange streams rows [lo, hi) of B through the three fused
+// stages one micro-block at a time: gather the column permutation into
+// the block (tmp is an n-length scratch row), solve the block against R
+// with the panel-blocked fused TRSM, and accumulate the block's Gram
+// contribution into acc (upper triangle) with the register-tiled fused
+// SYRK. The micro-block grouping is anchored at lo, so the summation
+// order inside a slot is fixed by the slot boundaries alone.
+//
+//repolint:hotpath
+func fusedSlotRange(b, r *mat.Dense, perm mat.Perm, lo, hi int, acc *mat.Dense, tmp []float64) {
+	n := b.Cols
+	for q := lo; q < hi; q += fusedBlockRows {
+		qhi := q + fusedBlockRows
+		if qhi > hi {
+			qhi = hi
+		}
+		if perm != nil {
+			for i := q; i < qhi; i++ {
+				row := b.Data[i*b.Stride : i*b.Stride+n]
+				copy(tmp, row)
+				for j, v := range perm {
+					row[j] = tmp[v]
+				}
+			}
+		}
+		fusedTrsmRange(b, r, q, qhi)
+		fusedSyrkRange(b, q, qhi, acc)
+	}
+}
+
+// fusedTrsmRange solves rows [lo, hi) of B in place against the upper
+// triangular R: X := X·R⁻¹. Unlike the streaming trsmRightRange, the row
+// block here is already L1 resident, so the solve is panel blocked for
+// arithmetic intensity rather than for stream locality: for each 4-wide
+// column panel the 4×4 diagonal block is solved by substitution, then
+// the trailing columns receive one rank-4 update whose inner loop does
+// 32 flops per 12 memory operations across a 4-row quad. The panel walk
+// is identical for every row, so the result is a deterministic function
+// of (lo, hi) grouping — anchored at the micro-block start — and never
+// of the engine width.
+//
+//repolint:hotpath
+func fusedTrsmRange(b, r *mat.Dense, lo, hi int) {
+	n := b.Cols
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		x0 := b.Data[i*b.Stride : i*b.Stride+n]
+		x1 := b.Data[(i+1)*b.Stride : (i+1)*b.Stride+n]
+		x2 := b.Data[(i+2)*b.Stride : (i+2)*b.Stride+n]
+		x3 := b.Data[(i+3)*b.Stride : (i+3)*b.Stride+n]
+		k0 := 0
+		for ; k0+4 <= n; k0 += 4 {
+			r0 := r.Data[k0*r.Stride : k0*r.Stride+n]
+			r1 := r.Data[(k0+1)*r.Stride : (k0+1)*r.Stride+n]
+			r2 := r.Data[(k0+2)*r.Stride : (k0+2)*r.Stride+n]
+			r3 := r.Data[(k0+3)*r.Stride : (k0+3)*r.Stride+n]
+			inv0 := 1 / r0[k0]
+			inv1 := 1 / r1[k0+1]
+			inv2 := 1 / r2[k0+2]
+			inv3 := 1 / r3[k0+3]
+			// Substitution on the 4×4 diagonal panel, one quad row at
+			// a time.
+			v00 := x0[k0] * inv0
+			v01 := (x0[k0+1] - v00*r0[k0+1]) * inv1
+			v02 := (x0[k0+2] - v00*r0[k0+2] - v01*r1[k0+2]) * inv2
+			v03 := (x0[k0+3] - v00*r0[k0+3] - v01*r1[k0+3] - v02*r2[k0+3]) * inv3
+			x0[k0], x0[k0+1], x0[k0+2], x0[k0+3] = v00, v01, v02, v03
+			v10 := x1[k0] * inv0
+			v11 := (x1[k0+1] - v10*r0[k0+1]) * inv1
+			v12 := (x1[k0+2] - v10*r0[k0+2] - v11*r1[k0+2]) * inv2
+			v13 := (x1[k0+3] - v10*r0[k0+3] - v11*r1[k0+3] - v12*r2[k0+3]) * inv3
+			x1[k0], x1[k0+1], x1[k0+2], x1[k0+3] = v10, v11, v12, v13
+			v20 := x2[k0] * inv0
+			v21 := (x2[k0+1] - v20*r0[k0+1]) * inv1
+			v22 := (x2[k0+2] - v20*r0[k0+2] - v21*r1[k0+2]) * inv2
+			v23 := (x2[k0+3] - v20*r0[k0+3] - v21*r1[k0+3] - v22*r2[k0+3]) * inv3
+			x2[k0], x2[k0+1], x2[k0+2], x2[k0+3] = v20, v21, v22, v23
+			v30 := x3[k0] * inv0
+			v31 := (x3[k0+1] - v30*r0[k0+1]) * inv1
+			v32 := (x3[k0+2] - v30*r0[k0+2] - v31*r1[k0+2]) * inv2
+			v33 := (x3[k0+3] - v30*r0[k0+3] - v31*r1[k0+3] - v32*r2[k0+3]) * inv3
+			x3[k0], x3[k0+1], x3[k0+2], x3[k0+3] = v30, v31, v32, v33
+			// Rank-4 update of the trailing columns.
+			for j := k0 + 4; j < n; j++ {
+				w0, w1, w2, w3 := r0[j], r1[j], r2[j], r3[j]
+				x0[j] -= v00*w0 + v01*w1 + v02*w2 + v03*w3
+				x1[j] -= v10*w0 + v11*w1 + v12*w2 + v13*w3
+				x2[j] -= v20*w0 + v21*w1 + v22*w2 + v23*w3
+				x3[j] -= v30*w0 + v31*w1 + v32*w2 + v33*w3
+			}
+		}
+		// Remainder columns (n not a multiple of 4): plain substitution.
+		for k := k0; k < n; k++ {
+			rk := r.Data[k*r.Stride : k*r.Stride+n]
+			inv := 1 / rk[k]
+			v0 := x0[k] * inv
+			v1 := x1[k] * inv
+			v2 := x2[k] * inv
+			v3 := x3[k] * inv
+			x0[k], x1[k], x2[k], x3[k] = v0, v1, v2, v3
+			for j := k + 1; j < n; j++ {
+				rv := rk[j]
+				x0[j] -= v0 * rv
+				x1[j] -= v1 * rv
+				x2[j] -= v2 * rv
+				x3[j] -= v3 * rv
+			}
+		}
+	}
+	// Remainder rows: single-row panel solve with the same column walk.
+	for ; i < hi; i++ {
+		x := b.Data[i*b.Stride : i*b.Stride+n]
+		k0 := 0
+		for ; k0+4 <= n; k0 += 4 {
+			r0 := r.Data[k0*r.Stride : k0*r.Stride+n]
+			r1 := r.Data[(k0+1)*r.Stride : (k0+1)*r.Stride+n]
+			r2 := r.Data[(k0+2)*r.Stride : (k0+2)*r.Stride+n]
+			r3 := r.Data[(k0+3)*r.Stride : (k0+3)*r.Stride+n]
+			v0 := x[k0] / r0[k0]
+			v1 := (x[k0+1] - v0*r0[k0+1]) / r1[k0+1]
+			v2 := (x[k0+2] - v0*r0[k0+2] - v1*r1[k0+2]) / r2[k0+2]
+			v3 := (x[k0+3] - v0*r0[k0+3] - v1*r1[k0+3] - v2*r2[k0+3]) / r3[k0+3]
+			x[k0], x[k0+1], x[k0+2], x[k0+3] = v0, v1, v2, v3
+			for j := k0 + 4; j < n; j++ {
+				x[j] -= v0*r0[j] + v1*r1[j] + v2*r2[j] + v3*r3[j]
+			}
+		}
+		for k := k0; k < n; k++ {
+			rk := r.Data[k*r.Stride : k*r.Stride+n]
+			v := x[k] / rk[k]
+			x[k] = v
+			for j := k + 1; j < n; j++ {
+				x[j] -= v * rk[j]
+			}
+		}
+	}
+}
+
+// fusedSyrkRange accumulates the Gram contribution of rows [lo, hi) of B
+// into the upper triangle of acc: acc += BᵀB over that row range. The
+// summation rows are consumed in ascending quads and, within a quad, each
+// acc element receives one fused 4-term dot — the order is a function of
+// (lo, hi) alone, so any engine width reproduces the same bits. Output
+// rows are paired so the quad's four source rows are loaded once per two
+// accumulator rows: 32 flops per 8 memory operations in the inner loop,
+// versus 8 per 6 for the streaming syrkTile (which optimizes for DRAM
+// traffic the fused pass has already eliminated).
+//
+//repolint:hotpath
+func fusedSyrkRange(b *mat.Dense, lo, hi int, acc *mat.Dense) {
+	n := b.Cols
+	k := lo
+	for ; k+4 <= hi; k += 4 {
+		r0 := b.Data[k*b.Stride : k*b.Stride+n]
+		r1 := b.Data[(k+1)*b.Stride : (k+1)*b.Stride+n]
+		r2 := b.Data[(k+2)*b.Stride : (k+2)*b.Stride+n]
+		r3 := b.Data[(k+3)*b.Stride : (k+3)*b.Stride+n]
+		i := 0
+		for ; i+2 <= n; i += 2 {
+			di := acc.Data[i*acc.Stride : i*acc.Stride+n]
+			di1 := acc.Data[(i+1)*acc.Stride : (i+1)*acc.Stride+n]
+			v00, v10, v20, v30 := r0[i], r1[i], r2[i], r3[i]
+			v01, v11, v21, v31 := r0[i+1], r1[i+1], r2[i+1], r3[i+1]
+			di[i] += v00*v00 + v10*v10 + v20*v20 + v30*v30
+			di[i+1] += v00*v01 + v10*v11 + v20*v21 + v30*v31
+			di1[i+1] += v01*v01 + v11*v11 + v21*v21 + v31*v31
+			for j := i + 2; j < n; j++ {
+				w0, w1, w2, w3 := r0[j], r1[j], r2[j], r3[j]
+				di[j] += v00*w0 + v10*w1 + v20*w2 + v30*w3
+				di1[j] += v01*w0 + v11*w1 + v21*w2 + v31*w3
+			}
+		}
+		if i < n {
+			di := acc.Data[i*acc.Stride : i*acc.Stride+n]
+			v0, v1, v2, v3 := r0[i], r1[i], r2[i], r3[i]
+			for j := i; j < n; j++ {
+				di[j] += v0*r0[j] + v1*r1[j] + v2*r2[j] + v3*r3[j]
+			}
+		}
+	}
+	// Remainder summation rows: rank-1 accumulation.
+	for ; k < hi; k++ {
+		rk := b.Data[k*b.Stride : k*b.Stride+n]
+		for i := 0; i < n; i++ {
+			v := rk[i]
+			if v == 0 {
+				continue
+			}
+			di := acc.Data[i*acc.Stride : i*acc.Stride+n]
+			for j := i; j < n; j++ {
+				di[j] += v * rk[j]
+			}
+		}
+	}
+}
+
+// addUpper accumulates the upper triangle of src into dst.
+func addUpper(dst, src *mat.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		srow := src.Data[i*src.Stride : i*src.Stride+src.Cols]
+		for j := i; j < dst.Cols; j++ {
+			drow[j] += srow[j]
+		}
+	}
+}

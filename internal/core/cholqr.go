@@ -76,13 +76,17 @@ func CholQRInPlaceGram(e *parallel.Engine, a *mat.Dense, gram GramFunc) (*mat.De
 	sg := trace.Region(trace.StageGram)
 	gram(w, a)
 	sg.End()
-	trace.AddFlops(trace.StageGram, 2*int64(a.Rows)*int64(n)*int64(n))
+	// Stage attribution mirrors the wrapped kernel (SyrkUpperTrans
+	// computes the upper triangle only) so stage and kernel flop totals
+	// reconcile in cmd/trace-report.
+	trace.AddFlops(trace.StageGram, int64(a.Rows)*int64(n)*int64(n+1))
 	if debugChecksEnabled {
 		debugCheckFinite("CholQR Gram matrix", w)
 	}
 	sc := trace.Region(trace.StageCholCP)
 	err := lapack.PotrfUpper(e, w)
 	sc.End()
+	trace.AddFlops(trace.StageCholCP, int64(n)*int64(n)*int64(n)/3)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
 	}
@@ -99,7 +103,14 @@ func CholQRInPlaceGram(e *parallel.Engine, a *mat.Dense, gram GramFunc) (*mat.De
 // accumulated R. On breakdown the span of a's columns is unchanged (the
 // first failing pass leaves a untouched; a failure in the second pass
 // leaves the partially orthogonalized block, which spans the same space).
+//
+// When the fused streaming path is enabled (see FuseEnabled), the first
+// pass's TRSM and the second pass's Gram run as one fused row-block
+// sweep, saving three of the six full traversals of a.
 func CholQR2InPlace(e *parallel.Engine, a *mat.Dense) (*mat.Dense, error) {
+	if FuseEnabled() {
+		return cholQR2InPlaceFused(e, a)
+	}
 	r1, err := cholQRInPlace(e, a)
 	if err != nil {
 		return nil, err
@@ -112,21 +123,75 @@ func CholQR2InPlace(e *parallel.Engine, a *mat.Dense) (*mat.Dense, error) {
 	return r1, nil
 }
 
+// cholQR2InPlaceFused is CholQR2InPlace on the fused streaming path:
+//
+//	pass 1: W₁ = AᵀA, R₁ = chol(W₁)
+//	fused : A := A·R₁⁻¹ and W₂ = AᵀA in one row-block sweep
+//	pass 2: R₂ = chol(W₂), A := A·R₂⁻¹, R = R₂·R₁
+//
+// The second Cholesky still sees exactly the Gram of the updated A (to
+// ULP-level summation-order differences), so the breakdown semantics of
+// the unfused path are preserved: a first-pass failure leaves a
+// untouched, a second-pass failure leaves the once-orthogonalized block.
+func cholQR2InPlaceFused(e *parallel.Engine, a *mat.Dense) (*mat.Dense, error) {
+	n := a.Cols
+	w := mat.NewDense(n, n)
+	sg := trace.Region(trace.StageGram)
+	blas.Gram(e, w, a)
+	sg.End()
+	trace.AddFlops(trace.StageGram, int64(a.Rows)*int64(n)*int64(n+1))
+	if debugChecksEnabled {
+		debugCheckFinite("CholQR Gram matrix", w)
+	}
+	sc := trace.Region(trace.StageCholCP)
+	err := lapack.PotrfUpper(e, w)
+	sc.End()
+	trace.AddFlops(trace.StageCholCP, int64(n)*int64(n)*int64(n)/3)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
+	}
+	lapack.ZeroLower(w)
+	r1 := w
+
+	// First TRSM fused with the second Gram: one pass over a instead of
+	// two (write of the solve, then re-read by the next SYRK sweep).
+	w2 := mat.NewDense(n, n)
+	sf := trace.Region(trace.StageFused)
+	blas.PermTrsmGramFused(e, a, nil, r1, w2)
+	sf.End()
+	trace.AddFlops(trace.StageFused,
+		int64(a.Rows)*int64(n)*int64(n)+int64(a.Rows)*int64(n)*int64(n+1))
+	trace.AddBytes(trace.StageFused, 2*8*int64(a.Rows)*int64(n))
+	if debugChecksEnabled {
+		debugCheckFinite("CholQR Gram matrix", w2)
+	}
+
+	sc2 := trace.Region(trace.StageCholCP)
+	err = lapack.PotrfUpper(e, w2)
+	sc2.End()
+	trace.AddFlops(trace.StageCholCP, int64(n)*int64(n)*int64(n)/3)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
+	}
+	lapack.ZeroLower(w2)
+	st := trace.Region(trace.StageTrsm)
+	blas.TrsmRightUpperNoTrans(e, a, w2)
+	st.End()
+	trace.AddFlops(trace.StageTrsm, int64(a.Rows)*int64(n)*int64(n))
+	blas.TrmmLeftUpperNoTrans(w2, r1) // R := R₂·R₁
+	return r1, nil
+}
+
 // CholQR2 computes the thin QR factorization by Cholesky QR with
 // reorthogonalization (CholeskyQR2 of Fukaya et al. 2014): two CholQR
 // passes, with R accumulated as R = R₂·R₁. For κ₂(A) ≲ u^(−1/2) the
 // result is as accurate as Householder QR.
 func CholQR2(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	q := a.Clone()
-	r1, err := cholQRInPlace(e, q)
+	r1, err := CholQR2InPlace(e, q)
 	if err != nil {
 		return nil, err
 	}
-	r2, err := cholQRInPlace(e, q)
-	if err != nil {
-		return nil, err
-	}
-	blas.TrmmLeftUpperNoTrans(r2, r1) // R := R₂·R₁
 	return &QR{Q: q, R: r1}, nil
 }
 

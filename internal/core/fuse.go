@@ -1,0 +1,20 @@
+package core
+
+import "os"
+
+// fuseDisabledEnv gates the fused permute→TRSM→Gram streaming path
+// (blas.PermTrsmGramFused) behind the TSQRCP_NO_FUSE environment
+// variable, read once at startup: any non-empty value forces every
+// factorization in the process onto the unfused path. This is the A/B
+// knob the bench drivers document in EXPERIMENTS.md — the fused and
+// unfused paths agree to ULP level, so the only observable difference is
+// DRAM traffic.
+var fuseDisabledEnv = os.Getenv("TSQRCP_NO_FUSE") != ""
+
+// FuseEnabled reports whether the fused streaming pass is in use: on by
+// default, off when TSQRCP_NO_FUSE is set in the environment. Algorithms
+// additionally fall back to the unfused path on iterations the fusion
+// does not cover (the first and last sweep) and whenever a custom
+// GramFunc is supplied (e.g. the distributed Allreduce Gram), whose
+// reduction the fused kernel cannot replicate.
+func FuseEnabled() bool { return !fuseDisabledEnv }

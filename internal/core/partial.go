@@ -89,10 +89,10 @@ func IteCholQRCPPartialGram(e *parallel.Engine, a *mat.Dense, eps float64, targe
 			}
 			return nil, ErrStall
 		}
-		mat.PermuteColsInPlace(aw.Slice(0, m, k, n), pres.Perm)
+		mat.PermuteColsInPlaceEngine(e, aw.Slice(0, m, k, n), pres.Perm)
 		if k > 0 {
-			mat.PermuteColsInPlace(rp.Slice(0, k, k, n), pres.Perm)
-			mat.PermuteColsInPlace(rTotal.Slice(0, k, k, n), pres.Perm)
+			mat.PermuteColsInPlaceEngine(e, rp.Slice(0, k, k, n), pres.Perm)
+			mat.PermuteColsInPlaceEngine(e, rTotal.Slice(0, k, k, n), pres.Perm)
 		}
 		rp.Slice(k, n, k, n).Copy(pres.R)
 		blas.TrsmRightUpperNoTrans(e, aw, rp)

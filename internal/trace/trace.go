@@ -53,6 +53,11 @@ const (
 	StageSwap
 	// StageTrmm is the accumulation R := R′·R and permutation bookkeeping.
 	StageTrmm
+	// StageFused is the fused permute→TRSM→Gram streaming pass: one
+	// row-block traversal that replaces a StageSwap + StageTrsm pair plus
+	// the next iteration's StageGram on the steady-state Ite-CholQR-CP
+	// path (and CholeskyQR2's first TRSM + second Gram).
+	StageFused
 	// StageAllreduce is the distributed Gram Allreduce (the only
 	// collective on the Ite-CholQR-CP critical path).
 	StageAllreduce
@@ -68,14 +73,21 @@ const (
 	KernelGeqrf
 	KernelGeqp3
 	KernelPCholCP
+	// KernelFusedTrsmGram is the fused permute→TRSM→Gram streaming kernel
+	// (blas.PermTrsmGramFused). Its flop attribution is the sum of the
+	// TRSM and SYRK it replaces (m·n² + m·n·(n+1)) and its byte
+	// attribution is the two DRAM traversals of the single pass (16·m·n),
+	// versus the five traversals of the unfused sequence.
+	KernelFusedTrsmGram
 
 	numStages
 )
 
 var stageNames = [numStages]string{
-	"Gram", "CholCP", "TRSM", "Swap", "Trmm", "Allreduce", "Total",
+	"Gram", "CholCP", "TRSM", "Swap", "Trmm", "Fused", "Allreduce", "Total",
 	"kernel/gemm", "kernel/syrk", "kernel/trsm", "kernel/trmm",
 	"kernel/potrf", "kernel/geqrf", "kernel/geqp3", "kernel/pcholcp",
+	"kernel/fused_trsm_gram",
 }
 
 func (s Stage) String() string {
@@ -92,7 +104,7 @@ func (s Stage) IsKernel() bool { return s >= KernelGemm && s < numStages }
 // StageRows lists the non-overlapping algorithm-level stages in breakdown
 // order; their times sum to approximately StageTotal.
 func StageRows() []Stage {
-	return []Stage{StageGram, StageCholCP, StageTrsm, StageSwap, StageTrmm, StageAllreduce}
+	return []Stage{StageGram, StageCholCP, StageTrsm, StageSwap, StageTrmm, StageFused, StageAllreduce}
 }
 
 // Counter identifies one named event counter.

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/parallel"
 )
 
 func randPerm(rng *rand.Rand, n int) Perm {
@@ -109,6 +111,29 @@ func TestPermuteColsInPlaceMatchesOutOfPlace(t *testing.T) {
 		PermuteColsInPlace(got, p)
 		if !EqualApprox(got, want, 0) {
 			t.Fatalf("in-place != out-of-place for p=%v", p)
+		}
+	}
+}
+
+func TestPermuteColsInPlaceEngineWidths(t *testing.T) {
+	// Large enough to cross permParallelElems so the row blocks actually
+	// fan out across pool workers; the gather must be identical to the
+	// out-of-place reference at every width, including on a strided view.
+	rng := rand.New(rand.NewSource(4))
+	const m, n = 20000, 8
+	backing := NewDense(m, n+3)
+	for i := range backing.Data {
+		backing.Data[i] = rng.NormFloat64()
+	}
+	a := backing.Slice(0, m, 1, 1+n)
+	p := randPerm(rng, n)
+	want := NewDense(m, n)
+	PermuteCols(want, a, p)
+	for _, w := range []int{1, 2, 8} {
+		got := a.Clone()
+		PermuteColsInPlaceEngine(parallel.NewEngine(w), got, p)
+		if !EqualApprox(got, want, 0) {
+			t.Fatalf("width %d: parallel in-place gather != out-of-place", w)
 		}
 	}
 }

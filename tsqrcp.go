@@ -38,7 +38,10 @@ type Options struct {
 	// 0 inherits the engine's width (all available cores on the default
 	// engine). The bound is per-call state carried by an internal engine,
 	// so concurrent factorizations with different Workers values do not
-	// interfere.
+	// interfere. The steady-state iterations run on a fused streaming
+	// pass whose Gram reduction has a fixed shape, so its result does not
+	// depend on Workers (disable the fused pass with the TSQRCP_NO_FUSE
+	// environment variable to A/B its performance; see DESIGN.md §10).
 	Workers int
 }
 
