@@ -15,12 +15,21 @@
 // is at least 1 ms — sub-millisecond timings are noise on shared CI
 // runners. Schema versions must match exactly; a candidate produced by a
 // newer tool against an older baseline is a hard error, not a skip.
+//
+// Beyond the relative baseline comparison, the randomized CQRRPT path has
+// two absolute acceptance gates, enforced on the candidate alone: the
+// CQRRPT/IteCholQRCP end-to-end pair at the reference shape must show at
+// least a 1.3× wall-clock speedup, and the CQRRPTParity metric rows must
+// sit within the metrics.CQRRPT*Tol accuracy thresholds. A candidate
+// missing those rows fails — the speedup claim is only admissible with
+// its accuracy certificate attached.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 
@@ -44,6 +53,12 @@ type record struct {
 	// ProblemsPerSec is set on batch rows (QRCPBatch): completed
 	// factorizations per second; gated like GFLOP/s (higher is better).
 	ProblemsPerSec float64 `json:"problems_per_sec,omitempty"`
+	// Value/Unit are set on accuracy metric rows only (CQRRPTParity):
+	// Stage names the metric, Value its dimensionless measurement. Metric
+	// rows carry no timing and are gated against absolute thresholds
+	// (metrics.CQRRPT*Tol), not against the baseline.
+	Value float64 `json:"value,omitempty"`
+	Unit  string  `json:"unit,omitempty"`
 }
 
 type report struct {
@@ -95,6 +110,13 @@ func validate(path string, rep *report) []string {
 			bad("record %d: empty name", i)
 		case r.M <= 0 || r.N <= 0:
 			bad("record %d (%s): non-positive shape %dx%d", i, r.Name, r.M, r.N)
+		case r.Unit != "":
+			// Metric rows have no timing; their Value must be a usable
+			// measurement (NaN would silently pass every < comparison).
+			if math.IsNaN(r.Value) || r.Value < 0 {
+				bad("record %d (%s/%s): metric value %g not a non-negative number",
+					i, r.Name, r.Stage, r.Value)
+			}
 		case r.NsPerOp <= 0:
 			bad("record %d (%s): non-positive ns_per_op %g", i, r.Name, r.NsPerOp)
 		case r.GFLOPS < 0:
@@ -170,6 +192,55 @@ func compare(base, cand *report, tol float64) (regressions []string, compared in
 	return regressions, compared
 }
 
+// The absolute acceptance gates of the randomized path (ROADMAP: CQRRPT
+// must beat the fused iterated baseline without giving up accuracy). The
+// reference shape matches the fixed A/B pair cmd/bench-kernels emits.
+const (
+	cqrrptGateM      = 1_000_000
+	cqrrptGateN      = 64
+	cqrrptMinSpeedup = 1.3
+)
+
+// cqrrptGates checks the absolute CQRRPT acceptance criteria on one
+// report: wall-clock speedup over the iterated baseline at the reference
+// shape, and the accuracy parity certificate. Returns one message per
+// violation; missing rows are violations, not skips.
+func cqrrptGates(path string, rep *report) []string {
+	var errs []string
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s: %s", path, fmt.Sprintf(format, args...)))
+	}
+	var cq, ite *record
+	parity := make(map[string]float64)
+	for i, r := range rep.Records {
+		switch {
+		case r.Name == "CQRRPT" && r.Stage == "" && r.M == cqrrptGateM && r.N == cqrrptGateN:
+			cq = &rep.Records[i]
+		case r.Name == "IteCholQRCP" && r.Stage == "" && r.M == cqrrptGateM && r.N == cqrrptGateN:
+			ite = &rep.Records[i]
+		case r.Name == "CQRRPTParity" && r.Unit != "":
+			parity[r.Stage] = r.Value
+		}
+	}
+	if cq == nil || ite == nil {
+		bad("missing CQRRPT/IteCholQRCP pair at m=%d n=%d", cqrrptGateM, cqrrptGateN)
+	} else if speedup := ite.NsPerOp / cq.NsPerOp; speedup < cqrrptMinSpeedup {
+		bad("CQRRPT speedup %.2fx at m=%d n=%d below required %.2fx",
+			speedup, cqrrptGateM, cqrrptGateN, cqrrptMinSpeedup)
+	}
+	orth, okO := parity["orthogonality"]
+	resid, okR := parity["residual"]
+	pq, okP := parity["pivot_quality"]
+	if !okO || !okR || !okP {
+		bad("missing CQRRPTParity metric rows (have %d of 3)", len(parity))
+		return errs
+	}
+	for _, v := range metrics.ParityViolations(orth, resid, pq) {
+		bad("CQRRPT parity: %s", v)
+	}
+	return errs
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_kernels.json", "committed baseline JSON")
 	candidate := flag.String("candidate", "", "freshly produced JSON to gate (required)")
@@ -198,6 +269,17 @@ func main() {
 	var fatal bool
 	for _, msg := range append(validate(*baseline, base), validate(*candidate, cand)...) {
 		fmt.Fprintln(os.Stderr, "bench-check: schema:", msg)
+		fatal = true
+	}
+	if fatal {
+		os.Exit(1)
+	}
+
+	// Absolute CQRRPT gates on the candidate: the fresh run must prove the
+	// randomized path's speedup and accuracy parity, whatever the baseline
+	// recorded.
+	for _, msg := range cqrrptGates(*candidate, cand) {
+		fmt.Fprintln(os.Stderr, "bench-check: gate:", msg)
 		fatal = true
 	}
 	if fatal {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -133,6 +134,74 @@ func TestCompareRequiresOverlap(t *testing.T) {
 	}}
 	if _, compared := compare(base, cand, 0.25); compared != 0 {
 		t.Fatalf("disjoint reports should compare 0 rows, got %d", compared)
+	}
+}
+
+// cqrrptReport returns a report satisfying the absolute CQRRPT gates: a
+// 2× A/B pair at the reference shape plus in-tolerance parity rows.
+func cqrrptReport() *report {
+	return &report{
+		Schema: metrics.SchemaVersion,
+		Records: []record{
+			{Name: "CQRRPT", M: cqrrptGateM, N: cqrrptGateN, NsPerOp: 4e9},
+			{Name: "IteCholQRCP", M: cqrrptGateM, N: cqrrptGateN, NsPerOp: 8e9},
+			{Name: "CQRRPTParity", Stage: "orthogonality", M: 20000, N: 64, Value: 5e-15, Unit: "ratio"},
+			{Name: "CQRRPTParity", Stage: "residual", M: 20000, N: 64, Value: 3e-16, Unit: "ratio"},
+			{Name: "CQRRPTParity", Stage: "pivot_quality", M: 20000, N: 64, Value: 1.8, Unit: "ratio"},
+		},
+	}
+}
+
+func TestValidateAcceptsMetricRows(t *testing.T) {
+	if errs := validate("x.json", cqrrptReport()); len(errs) != 0 {
+		t.Fatalf("unexpected validation errors: %v", errs)
+	}
+}
+
+func TestValidateCatchesBadMetricRows(t *testing.T) {
+	rep := cqrrptReport()
+	rep.Records = append(rep.Records,
+		record{Name: "CQRRPTParity", Stage: "nan", M: 1, N: 1, Value: math.NaN(), Unit: "ratio"},
+		record{Name: "CQRRPTParity", Stage: "neg", M: 1, N: 1, Value: -1, Unit: "ratio"},
+	)
+	if errs := validate("x.json", rep); len(errs) != 2 {
+		t.Fatalf("want 2 metric-row errors, got %v", errs)
+	}
+}
+
+func TestCQRRPTGatesPass(t *testing.T) {
+	if errs := cqrrptGates("x.json", cqrrptReport()); len(errs) != 0 {
+		t.Fatalf("unexpected gate failures: %v", errs)
+	}
+}
+
+func TestCQRRPTGatesSpeedup(t *testing.T) {
+	rep := cqrrptReport()
+	rep.Records[1].NsPerOp = rep.Records[0].NsPerOp * 1.1 // 1.1x < 1.3x
+	errs := cqrrptGates("x.json", rep)
+	if len(errs) != 1 || !strings.Contains(errs[0], "speedup") {
+		t.Fatalf("want one speedup failure, got %v", errs)
+	}
+}
+
+func TestCQRRPTGatesParityBreach(t *testing.T) {
+	rep := cqrrptReport()
+	rep.Records[2].Value = 1e-9 // orthogonality above CQRRPTOrthTol
+	errs := cqrrptGates("x.json", rep)
+	if len(errs) != 1 || !strings.Contains(errs[0], "orthogonality") {
+		t.Fatalf("want one parity failure, got %v", errs)
+	}
+}
+
+func TestCQRRPTGatesMissingRows(t *testing.T) {
+	errs := cqrrptGates("x.json", sampleReport())
+	if len(errs) != 2 {
+		t.Fatalf("report without CQRRPT rows must fail both gates, got %v", errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e, "missing") {
+			t.Fatalf("want missing-row failures, got %v", errs)
+		}
 	}
 }
 

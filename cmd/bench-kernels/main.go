@@ -1,6 +1,8 @@
 // Command bench-kernels measures the Level-3 kernels on the Ite-CholQR-CP
-// hot path (Gram, TRSM, GEMM) plus the end-to-end factorization, and writes
-// the results as JSON for regression tracking (`make bench-json`). The JSON
+// hot path (Gram, TRSM, GEMM, sparse-sign sketch) plus the end-to-end
+// factorizations — the iterated baseline, the randomized CQRRPT A/B pair
+// with its accuracy parity rows, and batch throughput — and writes the
+// results as JSON for regression tracking (`make bench-json`). The JSON
 // layout is documented in bench/SCHEMA.md and gated in CI by
 // cmd/bench-check.
 //
@@ -26,6 +28,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/sketch"
 	"repro/internal/trace"
 	"repro/mat"
 	"repro/metrics"
@@ -55,6 +58,13 @@ type record struct {
 	// ProblemsPerSec is set on batch rows only: factorizations completed
 	// per second across the whole batch.
 	ProblemsPerSec float64 `json:"problems_per_sec,omitempty"`
+	// Value/Unit are set on accuracy metric rows only (CQRRPTParity): the
+	// measured dimensionless metric named by Stage. Metric rows carry no
+	// timing data (ns_per_op is 0) and are gated against absolute
+	// thresholds (metrics.CQRRPT*Tol) by cmd/bench-check rather than
+	// compared to the baseline.
+	Value float64 `json:"value,omitempty"`
+	Unit  string  `json:"unit,omitempty"`
 }
 
 type report struct {
@@ -110,19 +120,19 @@ func upperTriangular(rng *rand.Rand, n int) *mat.Dense {
 // batchSize is the number of problems in the QRCPBatch throughput rows.
 const batchSize = 32
 
-// stageRows runs the end-to-end factorization under tracing and converts
-// the breakdown to per-stage benchmark rows: NsPerOp is the average
-// attributed time per factorization over reps runs, so stage rows for one
-// shape sum to ≈ the Total row.
-func stageRows(a *mat.Dense, m, n, reps int) []record {
+// stageRows runs one end-to-end factorization reps times under tracing and
+// converts the breakdown to per-stage benchmark rows: NsPerOp is the
+// average attributed time per factorization over reps runs, so stage rows
+// for one shape sum to ≈ the Total row.
+func stageRows(name string, m, n, reps int, one func() error) []record {
 	trace.Reset()
 	trace.Enable()
 	for i := 0; i < reps; i++ {
 		sp := trace.Region(trace.StageTotal)
-		_, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol)
+		err := one()
 		sp.End()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "IteCholQRCP (traced):", err)
+			fmt.Fprintf(os.Stderr, "%s (traced): %v\n", name, err)
 			os.Exit(1)
 		}
 	}
@@ -130,15 +140,15 @@ func stageRows(a *mat.Dense, m, n, reps int) []record {
 	trace.Disable()
 
 	var out []record
-	add := func(name string) {
-		st, ok := rep.Stage(name)
+	add := func(stage string) {
+		st, ok := rep.Stage(stage)
 		if !ok {
 			return
 		}
 		ns := float64(st.TotalNs) / float64(reps)
 		r := record{
-			Name:    "IteCholQRCP",
-			Stage:   name,
+			Name:    name,
+			Stage:   stage,
 			M:       m,
 			N:       n,
 			Iters:   reps,
@@ -146,7 +156,7 @@ func stageRows(a *mat.Dense, m, n, reps int) []record {
 			GFLOPS:  st.GFLOPS,
 		}
 		fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %12.0f ns/op %24s %8.2f GFLOP/s\n",
-			"IteCholQRCP/"+name, m, n, ns, "", st.GFLOPS)
+			name+"/"+stage, m, n, ns, "", st.GFLOPS)
 		out = append(out, r)
 	}
 	for _, s := range trace.StageRows() {
@@ -254,7 +264,10 @@ func main() {
 				}
 			}))
 		if *traced {
-			rep.Records = append(rep.Records, stageRows(a, m, n, 3)...)
+			rep.Records = append(rep.Records, stageRows("IteCholQRCP", m, n, 3, func() error {
+				_, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol)
+				return err
+			})...)
 		}
 	}
 
@@ -303,6 +316,90 @@ func main() {
 		rep.Records = append(rep.Records, unfused)
 		fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %36.2fx wall-clock speedup (%.1f / %.1f GB/s effective)\n",
 			"Fused vs unfused", fusedM, fusedN, unfused.NsPerOp/fused.NsPerOp, fused.Gbps, unfused.Gbps)
+	}
+
+	// CQRRPT A/B: the randomized-preconditioning path against the fused
+	// iterated baseline on the very tall reference shape, plus the sketch
+	// kernel on its own. The shape is fixed (not derived from -e2e-m) so
+	// the quick CI smoke run produces the same row keys as the committed
+	// baseline — cmd/bench-check gates the pair's wall-clock ratio at
+	// ≥ 1.3× on every run (see bench/SCHEMA.md).
+	{
+		const cqM, cqN = 1_000_000, 64
+		const cqSeed = 42
+		a := testmat.Generate(rng, cqM, cqN, (cqN*4)/5, 1e-12)
+
+		nnz := sketch.DefaultNNZ
+		if d := core.CQRRPTSketchFactor * cqN; nnz > d {
+			nnz = d
+		}
+		sa := mat.NewDense(core.CQRRPTSketchFactor*cqN, cqN)
+		rep.Records = append(rep.Records, run(
+			"SketchSparse", cqM, cqN, 2*float64(cqM)*float64(cqN)*float64(nnz),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sketch.ApplySparse(nil, sa, a, nnz, cqSeed)
+				}
+			}))
+
+		cq := run("CQRRPT", cqM, cqN, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CQRRPT(nil, a, core.DefaultPivotTol, cqSeed); err != nil {
+					fmt.Fprintln(os.Stderr, "CQRRPT:", err)
+					os.Exit(1)
+				}
+			}
+		})
+		rep.Records = append(rep.Records, cq)
+
+		ite := run("IteCholQRCP", cqM, cqN, 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.IteCholQRCP(nil, a, core.DefaultPivotTol); err != nil {
+					fmt.Fprintln(os.Stderr, "IteCholQRCP:", err)
+					os.Exit(1)
+				}
+			}
+		})
+		rep.Records = append(rep.Records, ite)
+		fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %36.2fx wall-clock speedup\n",
+			"CQRRPT vs IteCholQRCP", cqM, cqN, ite.NsPerOp/cq.NsPerOp)
+	}
+
+	// Accuracy parity rows: CQRRPT against the Householder QRCP reference
+	// on a shape small enough to factor both ways, emitted as dimensionless
+	// metric rows (Value/Unit) and gated against the absolute
+	// metrics.CQRRPT*Tol thresholds by cmd/bench-check — the certificate
+	// that the wall-clock win above is an apples-to-apples comparison.
+	{
+		const pM, pN = 20000, 64
+		const pRank = (pN * 4) / 5
+		a := testmat.Generate(rng, pM, pN, pRank, 1e-12)
+		res, err := core.CQRRPT(nil, a, core.DefaultPivotTol, 42)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "CQRRPT (parity):", err)
+			os.Exit(1)
+		}
+		ref := core.HQRCP(nil, a.Clone())
+		orth := metrics.Orthogonality(res.Q)
+		resid := metrics.Residual(a, res.Q, res.R, res.Perm)
+		pq := metrics.PivotQuality(res.R, ref.R, pRank)
+		for _, pr := range metrics.ParityRecords("CQRRPTParity", orth, resid, pq) {
+			rep.Records = append(rep.Records, record{
+				Name: pr.Name, Stage: pr.Stage, M: pM, N: pN, Iters: 1,
+				Value: pr.Value, Unit: "ratio",
+			})
+			fmt.Fprintf(os.Stderr, "%-24s m=%-7d n=%-4d %12.3g\n",
+				pr.Name+"/"+pr.Stage, pM, pN, pr.Value)
+		}
+		if *traced {
+			rep.Records = append(rep.Records, stageRows("CQRRPT", pM, pN, 3, func() error {
+				_, err := core.CQRRPT(nil, a, core.DefaultPivotTol, 42)
+				return err
+			})...)
+		}
 	}
 
 	// Batch serving throughput: batchSize independent tall-skinny problems

@@ -1,0 +1,16 @@
+package bad
+
+import "strconv"
+
+// sketchLabelKernel is a sketch-style kernel that builds a per-row label
+// with strconv, which allocates on every row.
+//
+//repolint:hotpath
+func sketchLabelKernel(acc []float64, a [][]float64, labels []string, seed uint64) {
+	for i, row := range a {
+		labels[i] = strconv.Itoa(i) // want "hotpath function sketchLabelKernel calls strconv.Itoa, which allocates"
+		for j, v := range row {
+			acc[j] += v * float64(seed&1)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Counter-based randomness is the approved pattern for parallel kernels:
+// no math/rand at all, just a pure finalizer over (explicit seed, index).
+// Every worker derives the stream for its rows independently, so the
+// output is a deterministic function of the seed alone — independent of
+// partitioning — which is how the sketch kernels keep results
+// bit-identical across engine widths.
+package good
+
+// mix is a SplitMix64-style finalizer: statelessly maps a counter to a
+// well-scrambled 64-bit word.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rowStream returns the first word of row i's private stream under seed.
+// Callers thread seed explicitly (an Options field, never a global), so
+// the same seed reproduces the same draws on any schedule.
+func rowStream(seed uint64, i int) uint64 {
+	return mix(seed ^ mix(uint64(i)))
+}
+
+// signs fills out with ±1 drawn from each row's counter stream.
+func signs(seed uint64, out []float64) {
+	for i := range out {
+		if rowStream(seed, i)&1 == 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+}

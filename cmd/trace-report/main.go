@@ -1,14 +1,16 @@
 // Command trace-report runs one pivoted factorization under the
 // internal/trace instrumentation and emits the stage-level breakdown:
-// where the time went (Gram, CholCP, TRSM, Swap, Trmm, Fused), the kernel-level
-// nesting underneath, event counters (iterations, ε-exits, workspace pool
-// hits), and per-worker utilization.
+// where the time went (Gram, CholCP, TRSM, Swap, Trmm, Fused — plus
+// Sketch and Precond on the randomized path), the kernel-level nesting
+// underneath, event counters (iterations, ε-exits, sketch fallbacks,
+// workspace pool hits), and per-worker utilization.
 //
 // Usage:
 //
 //	go run ./cmd/trace-report -m 100000 -n 128            # JSON to stdout
 //	go run ./cmd/trace-report -text                       # human-readable table
 //	go run ./cmd/trace-report -algo hqrcp -text           # baseline breakdown
+//	go run ./cmd/trace-report -algo cqrrpt -text          # randomized path
 //	go run ./cmd/trace-report -cpuprofile cpu.out         # + pprof CPU profile
 //	go run ./cmd/trace-report -pprof localhost:6060       # live pprof server
 //
@@ -60,7 +62,7 @@ func main() {
 		r          = flag.Int("r", 0, "numerical rank of the test matrix (0: 4n/5)")
 		sigma      = flag.Float64("sigma", 1e-12, "trailing singular value σ of the test matrix")
 		eps        = flag.Float64("eps", tsqrcp.DefaultPivotTol, "P-Chol-CP pivot tolerance ε")
-		algo       = flag.String("algo", "itecholqrcp", "algorithm: itecholqrcp or hqrcp")
+		algo       = flag.String("algo", "itecholqrcp", "algorithm: itecholqrcp, cqrrpt, or hqrcp")
 		reps       = flag.Int("reps", 1, "number of factorizations to accumulate")
 		seed       = flag.Int64("seed", 1, "RNG seed")
 		out        = flag.String("o", "", "write JSON to this file instead of stdout")
@@ -99,10 +101,20 @@ func main() {
 				fmt.Fprintln(os.Stderr, "trace-report:", err)
 				os.Exit(1)
 			}
+		case "cqrrpt":
+			fac, err = tsqrcp.QRCP(a, &tsqrcp.Options{
+				PivotTol: *eps,
+				Strategy: tsqrcp.StrategyCQRRPT,
+				Seed:     uint64(*seed),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "trace-report:", err)
+				os.Exit(1)
+			}
 		case "hqrcp":
 			fac = tsqrcp.HouseholderQRCP(a, nil)
 		default:
-			fmt.Fprintf(os.Stderr, "trace-report: unknown -algo %q (want itecholqrcp or hqrcp)\n", *algo)
+			fmt.Fprintf(os.Stderr, "trace-report: unknown -algo %q (want itecholqrcp, cqrrpt, or hqrcp)\n", *algo)
 			os.Exit(2)
 		}
 	}
@@ -110,8 +122,11 @@ func main() {
 	trace.Disable()
 
 	name := "IteCholQRCP"
-	if *algo == "hqrcp" {
+	switch *algo {
+	case "hqrcp":
 		name = "HQRCP"
+	case "cqrrpt":
+		name = "CQRRPT"
 	}
 	recs := metrics.TraceRecords(name, snap)
 	recs = append(recs, metrics.AccuracyRecords(name,

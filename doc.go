@@ -16,11 +16,23 @@
 //
 // Entry points:
 //
-//	QRCP          — pivoted QR by Ite-CholQR-CP (Algorithm 4)
+//	QRCP          — pivoted QR by Ite-CholQR-CP (Algorithm 4), or by the
+//	   randomized CQRRPT scheme via Options.Strategy
 //	QRCPTruncated — rank-k truncated pivoted QR (low-rank approximation)
 //	HouseholderQRCP — the conventional DGEQP3-style baseline
 //	CholeskyQR / CholeskyQR2 / ShiftedCholeskyQR3 / HouseholderQR —
 //	   unpivoted tall-skinny QR
+//
+// For very tall matrices, StrategyCQRRPT decides the pivots on a small
+// sparse-sign sketch and spends a single preconditioned Cholesky QR pass
+// on the full matrix — measurably faster than the iterated loop at the
+// same accuracy gates, and bit-reproducible for a fixed Options.Seed at
+// any worker count (DESIGN.md §11):
+//
+//	f, err := tsqrcp.QRCP(a, &tsqrcp.Options{
+//	        Strategy: tsqrcp.StrategyCQRRPT,
+//	        Seed:     42,
+//	})
 //
 // # Engines, cancellation, and batch serving
 //

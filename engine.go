@@ -74,12 +74,19 @@ func (e *Engine) callEngine(opts *Options) *parallel.Engine {
 }
 
 // QRCP computes the QR factorization with column pivoting of a tall-skinny
-// matrix on this engine; see the package-level QRCP for the algorithm.
+// matrix on this engine; see the package-level QRCP for the algorithm and
+// Options.Strategy for the randomized CQRRPT alternative.
 // Returns the engine's context error if cancelled mid-factorization.
 func (e *Engine) QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
 	sp := trace.Region(trace.StageTotal)
 	defer sp.End()
-	res, err := core.IteCholQRCP(e.callEngine(opts), a, opts.tol())
+	var res *core.CPResult
+	var err error
+	if opts.strategy() == StrategyCQRRPT {
+		res, err = core.CQRRPT(e.callEngine(opts), a, opts.tol(), opts.seed())
+	} else {
+		res, err = core.IteCholQRCP(e.callEngine(opts), a, opts.tol())
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,10 @@ func checkTriangular(r *mat.Dense, n int, who string) {
 // TrsmRightUpperNoTrans computes B := B·R⁻¹ for upper triangular R. This is
 // the Q := A·R⁻¹ kernel of Cholesky QR (m·n² flops, Level 3): each row of B
 // is solved independently by forward substitution with contiguous row
-// access on R, and rows are distributed across cores.
+// access on R, and rows are distributed across cores. Every row is solved
+// with identical arithmetic regardless of partitioning, so the result is
+// bit-identical for every engine width — part of the determinism contract
+// of the CQRRPT path.
 //
 // Panics if R has a zero diagonal entry. The engine e bounds the parallel
 // width (nil selects the default engine).
@@ -72,15 +75,17 @@ func trsmRightRange(b, r *mat.Dense, lo, hi int) {
 			}
 		}
 	}
+	// The tail rows use exactly the blocked path's arithmetic (reciprocal
+	// multiply, no zero-skip): a row's bits must not depend on whether it
+	// fell in a 4-block or a chunk tail, so the kernel's output is
+	// independent of how the rows were partitioned — and therefore of the
+	// engine width.
 	for ; i < hi; i++ {
 		x := b.Data[i*b.Stride : i*b.Stride+n]
 		for k := 0; k < n; k++ {
 			rrow := r.Data[k*r.Stride : k*r.Stride+n]
-			xk := x[k] / rrow[k]
+			xk := x[k] * (1 / rrow[k])
 			x[k] = xk
-			if xk == 0 {
-				continue
-			}
 			for j := k + 1; j < n; j++ {
 				x[j] -= xk * rrow[j]
 			}

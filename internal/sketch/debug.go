@@ -1,0 +1,19 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/mat"
+)
+
+// debugCheckFinite panics when m holds a NaN or ±Inf — the debugchecks
+// sanitizer at the sketch-output boundary. A non-finite input row
+// poisons every sketch row it scatters onto, then the downstream Geqp3
+// and TRSM silently produce garbage pivots; under -tags debugchecks we
+// stop at the sketch output instead, which pins the corruption to the
+// input. Callers gate this behind debugChecksEnabled.
+func debugCheckFinite(ctx string, m *mat.Dense) {
+	if i, j, found := mat.FirstNonFinite(m); found {
+		panic(fmt.Sprintf("sketch: debugchecks: %s contains non-finite value at (%d,%d)", ctx, i, j))
+	}
+}

@@ -1,0 +1,49 @@
+//go:build debugchecks
+
+package sketch
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/mat"
+)
+
+// Under -tags debugchecks the sketch kernels must stop at the first
+// non-finite output instead of letting the poisoned sketch flow into
+// Geqp3.
+func TestApplySparseDebugChecksPanicOnNaN(t *testing.T) {
+	a := mat.NewDense(100, 4)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	a.Set(57, 2, math.NaN())
+	sa := mat.NewDense(8, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic on NaN input under debugchecks")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "sketch output contains non-finite") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	ApplySparse(nil, sa, a, 4, 1)
+}
+
+func TestApplyGaussianDebugChecksPanicOnInf(t *testing.T) {
+	a := mat.NewDense(50, 3)
+	for i := range a.Data {
+		a.Data[i] = 1
+	}
+	a.Set(10, 0, math.Inf(1))
+	sa := mat.NewDense(6, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on Inf input under debugchecks")
+		}
+	}()
+	ApplyGaussian(nil, sa, a, 1)
+}

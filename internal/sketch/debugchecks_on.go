@@ -1,0 +1,7 @@
+//go:build debugchecks
+
+package sketch
+
+// debugChecksEnabled gates the sanitizer assertions in debug.go; see the
+// debugchecks build tag (DESIGN.md §7).
+const debugChecksEnabled = true

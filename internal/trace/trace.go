@@ -58,6 +58,14 @@ const (
 	// the next iteration's StageGram on the steady-state Ite-CholQR-CP
 	// path (and CholeskyQR2's first TRSM + second Gram).
 	StageFused
+	// StageSketch is the randomized embedding pass of the CQRRPT path:
+	// SA := S·A for the sparse-sign (or Gaussian fallback) sketch, plus
+	// the small pivoted QR of the sketch.
+	StageSketch
+	// StagePrecond is CQRRPT's preconditioner application: the fused
+	// permute→TRSM→Gram pass A := (A·P)·R_sk⁻¹ with W := AᵀA streamed out
+	// in the same traversal.
+	StagePrecond
 	// StageAllreduce is the distributed Gram Allreduce (the only
 	// collective on the Ite-CholQR-CP critical path).
 	StageAllreduce
@@ -79,15 +87,21 @@ const (
 	// attribution is the two DRAM traversals of the single pass (16·m·n),
 	// versus the five traversals of the unfused sequence.
 	KernelFusedTrsmGram
+	// KernelSketch is the randomized embedding kernel (sketch.ApplySparse
+	// / sketch.ApplyGaussian): flop attribution is 2·m·n·nnz for the
+	// sparse-sign embedding and 2·d·m·n for the Gaussian fallback; byte
+	// attribution is the single read traversal of A (8·m·n).
+	KernelSketch
 
 	numStages
 )
 
 var stageNames = [numStages]string{
-	"Gram", "CholCP", "TRSM", "Swap", "Trmm", "Fused", "Allreduce", "Total",
+	"Gram", "CholCP", "TRSM", "Swap", "Trmm", "Fused", "Sketch", "Precond",
+	"Allreduce", "Total",
 	"kernel/gemm", "kernel/syrk", "kernel/trsm", "kernel/trmm",
 	"kernel/potrf", "kernel/geqrf", "kernel/geqp3", "kernel/pcholcp",
-	"kernel/fused_trsm_gram",
+	"kernel/fused_trsm_gram", "kernel/sketch",
 }
 
 func (s Stage) String() string {
@@ -104,7 +118,8 @@ func (s Stage) IsKernel() bool { return s >= KernelGemm && s < numStages }
 // StageRows lists the non-overlapping algorithm-level stages in breakdown
 // order; their times sum to approximately StageTotal.
 func StageRows() []Stage {
-	return []Stage{StageGram, StageCholCP, StageTrsm, StageSwap, StageTrmm, StageFused, StageAllreduce}
+	return []Stage{StageGram, StageCholCP, StageTrsm, StageSwap, StageTrmm,
+		StageFused, StageSketch, StagePrecond, StageAllreduce}
 }
 
 // Counter identifies one named event counter.
@@ -131,6 +146,10 @@ const (
 	// CtrWorkerInline counts chunks run inline on the calling goroutine
 	// (chunk 0 of every region, plus pool-exhausted overflow).
 	CtrWorkerInline
+	// CtrSketchFallbacks counts CQRRPT runs whose condition-estimate
+	// guard rejected the sketch preconditioner (the run retried with the
+	// Gaussian sketch or fell back to the iterated path).
+	CtrSketchFallbacks
 
 	numCounters
 )
@@ -138,6 +157,7 @@ const (
 var counterNames = [numCounters]string{
 	"iterations", "pivots_fixed", "eps_exits", "breakdowns",
 	"workspace_gets", "workspace_misses", "worker_dispatches", "worker_inline_chunks",
+	"sketch_fallbacks",
 }
 
 func (c Counter) String() string {

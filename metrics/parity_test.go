@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/mat"
+)
+
+func upperFromDiag(diag []float64) *mat.Dense {
+	n := len(diag)
+	r := mat.NewDense(n, n)
+	for i, d := range diag {
+		r.Set(i, i, d)
+	}
+	return r
+}
+
+func TestPivotQuality(t *testing.T) {
+	ref := upperFromDiag([]float64{4, 2, 1, 1e-8})
+	got := upperFromDiag([]float64{4, -1, 1, 1e-8})
+	if q := PivotQuality(got, ref, 3); q != 2 {
+		t.Fatalf("PivotQuality = %g, want 2", q)
+	}
+	// Beating the reference is not penalized.
+	better := upperFromDiag([]float64{8, 4, 2, 1e-8})
+	if q := PivotQuality(better, ref, 3); q != 0.5 {
+		t.Fatalf("PivotQuality (better than ref) = %g, want 0.5", q)
+	}
+	// Equal factors have quality exactly 1.
+	if q := PivotQuality(ref, ref, 4); q != 1 {
+		t.Fatalf("PivotQuality (identical) = %g, want 1", q)
+	}
+}
+
+func TestPivotQualityZeroDiagonals(t *testing.T) {
+	ref := upperFromDiag([]float64{2, 1})
+	got := upperFromDiag([]float64{2, 0})
+	if q := PivotQuality(got, ref, 2); !math.IsInf(q, 1) {
+		t.Fatalf("zero got-diagonal: PivotQuality = %g, want +Inf", q)
+	}
+	// A zero reference diagonal carries no rank information; skip it.
+	refZero := upperFromDiag([]float64{2, 0})
+	if q := PivotQuality(ref, refZero, 2); q != 1 {
+		t.Fatalf("zero ref-diagonal: PivotQuality = %g, want 1", q)
+	}
+}
+
+func TestPivotQualityOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k beyond diagonal")
+		}
+	}()
+	PivotQuality(upperFromDiag([]float64{1}), upperFromDiag([]float64{1, 1}), 2)
+}
+
+func TestParityRecords(t *testing.T) {
+	recs := ParityRecords("CQRRPT", 1e-15, 2e-16, 1.5)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	want := map[string]float64{
+		"orthogonality": 1e-15,
+		"residual":      2e-16,
+		"pivot_quality": 1.5,
+	}
+	for _, r := range recs {
+		if r.Name != "CQRRPT" {
+			t.Fatalf("record name %q, want CQRRPT", r.Name)
+		}
+		if r.Unit != "" {
+			t.Fatalf("parity rows are dimensionless, got unit %q", r.Unit)
+		}
+		v, ok := want[r.Stage]
+		if !ok {
+			t.Fatalf("unexpected stage %q", r.Stage)
+		}
+		if r.Value != v {
+			t.Fatalf("stage %s value %g, want %g", r.Stage, r.Value, v)
+		}
+		delete(want, r.Stage)
+	}
+}
+
+func TestParityViolations(t *testing.T) {
+	if v := ParityViolations(5e-15, 3e-16, 1.8); len(v) != 0 {
+		t.Fatalf("measured-typical values must pass, got %v", v)
+	}
+	if v := ParityViolations(CQRRPTOrthTol, CQRRPTResidTol, CQRRPTPivotTol); len(v) != 0 {
+		t.Fatalf("boundary values must pass, got %v", v)
+	}
+	if v := ParityViolations(1e-9, 3e-16, 1.8); len(v) != 1 {
+		t.Fatalf("orthogonality breach must fail once, got %v", v)
+	}
+	if v := ParityViolations(1e-9, 1e-9, 100); len(v) != 3 {
+		t.Fatalf("all-breach must report 3 violations, got %v", v)
+	}
+	nan := math.NaN()
+	if v := ParityViolations(nan, nan, nan); len(v) != 3 {
+		t.Fatalf("NaN must fail every gate, got %v", v)
+	}
+	if v := ParityViolations(5e-15, 3e-16, math.Inf(1)); len(v) != 1 {
+		t.Fatalf("+Inf pivot quality must fail, got %v", v)
+	}
+}

@@ -21,6 +21,28 @@ var ErrBreakdown = core.ErrBreakdown
 // numerically) dependent columns, e.g. a zero column.
 var ErrStall = core.ErrStall
 
+// Strategy selects the algorithm behind QRCP and QRCPBatch.
+type Strategy int
+
+const (
+	// StrategyIteCholQRCP is the paper's iterated Cholesky QR with column
+	// pivoting — the default: deterministic, with a pivot sequence that
+	// matches Householder QRCP for the essential pivots.
+	StrategyIteCholQRCP Strategy = iota
+	// StrategyCQRRPT is the sketch-preconditioned randomized path: the
+	// pivots come from a Householder QRCP of a 2n×n sparse-sign sketch of
+	// A, whose triangular factor then preconditions A so a single CholQR
+	// pass finishes the factorization. For very tall matrices this does
+	// the m-sized work in roughly a third of the iterated path's flops
+	// and DRAM traversals. The pivots generally differ from Householder
+	// QRCP's greedy sequence (they optimize sketched norms) but reveal
+	// the same rank profile, and |R(j,j)| is only approximately
+	// non-increasing. Seeded by Options.Seed; if the sketch fails its
+	// condition-estimate guard the call transparently retries with a
+	// Gaussian sketch and then falls back to the iterated path.
+	StrategyCQRRPT
+)
+
 // Options control the pivoted factorizations.
 type Options struct {
 	// PivotTol is the P-Chol-CP tolerance ε. Zero value selects
@@ -43,6 +65,28 @@ type Options struct {
 	// depend on Workers (disable the fused pass with the TSQRCP_NO_FUSE
 	// environment variable to A/B its performance; see DESIGN.md §10).
 	Workers int
+	// Strategy selects the pivoting algorithm; the zero value is
+	// StrategyIteCholQRCP.
+	Strategy Strategy
+	// Seed seeds the randomized embedding of StrategyCQRRPT. For a fixed
+	// Seed the factorization is a deterministic function of the input —
+	// bit-identical across engine widths and Workers settings. Ignored by
+	// deterministic strategies.
+	Seed uint64
+}
+
+func (o *Options) strategy() Strategy {
+	if o == nil {
+		return StrategyIteCholQRCP
+	}
+	return o.Strategy
+}
+
+func (o *Options) seed() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.Seed
 }
 
 func (o *Options) tol() float64 {
