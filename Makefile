@@ -48,34 +48,39 @@ test-debug:
 	$(GO) test -tags debugchecks ./...
 
 race:
-	$(GO) test -race -timeout 10m . ./internal/... ./mat/ ./dist/
+	$(GO) test -race -timeout 10m . ./internal/... ./mat/ ./dist/ ./service/
 
 # One benchmark per paper figure/table plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Kernel regression numbers (Gram/TRSM/GEMM + end-to-end IteCholQRCP,
-# with per-stage trace rows) as JSON, for diffing against the committed
-# BENCH_kernels.json. Schema: bench/SCHEMA.md.
+# with per-stage trace rows) as JSON, then the service-layer rows
+# (jobs/sec + latency quantiles) merged into the same file, for diffing
+# against the committed BENCH_kernels.json. Schema: bench/SCHEMA.md.
 bench-json:
 	$(GO) run ./cmd/bench-kernels -trace -o BENCH_kernels.json
+	$(GO) run ./cmd/bench-service -o BENCH_kernels.json
 	@echo "wrote BENCH_kernels.json"
 
 # The CI benchmark gate: reduced preset, schema validation, and a
-# GFLOP/s comparison against the committed baseline.
+# GFLOP/s comparison against the committed baseline. bench-service rides
+# along so the absolute ServiceQRCP gate always has its rows.
 bench-smoke:
 	$(GO) run ./cmd/bench-kernels -quick -trace -e2e-m 4000 -o bench_candidate.json
+	$(GO) run ./cmd/bench-service -jobs 120 -o bench_candidate.json
 	BENCH_TOLERANCE=$(BENCH_TOLERANCE) \
 		$(GO) run ./cmd/bench-check -baseline BENCH_kernels.json -candidate bench_candidate.json
 
 cover:
 	$(GO) test -cover ./...
 
-# Fail when statement coverage of internal/... falls below COVER_MIN %.
+# Fail when statement coverage of internal/... + service/ falls below
+# COVER_MIN %.
 cover-gate:
-	@$(GO) test -coverprofile=cover.out ./internal/...
+	@$(GO) test -coverprofile=cover.out ./internal/... ./service/
 	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
-	echo "internal/... coverage: $$total% (gate: $(COVER_MIN)%)"; \
+	echo "internal/... + service coverage: $$total% (gate: $(COVER_MIN)%)"; \
 	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
 		{ echo "coverage below $(COVER_MIN)%" >&2; exit 1; }
 

@@ -23,6 +23,11 @@
 // sit within the metrics.CQRRPT*Tol accuracy thresholds. A candidate
 // missing those rows fails — the speedup claim is only admissible with
 // its accuracy certificate attached.
+//
+// The service layer has the analogous absolute gate: the ServiceQRCP
+// rows (cmd/bench-service) at the smoke shape must be present, show at
+// least serviceMinJobsPerSec jobs/sec end to end, and carry a coherent
+// latency distribution (0 < p50 ≤ p99).
 package main
 
 import (
@@ -241,6 +246,58 @@ func cqrrptGates(path string, rep *report) []string {
 	return errs
 }
 
+// The absolute acceptance gate of the service layer (ROADMAP: the
+// network front door must not squander the engine's batch throughput).
+// The gate shape is the first shape cmd/bench-service drives — the
+// smoke preset — and the jobs/sec floor is deliberately conservative:
+// it catches a serialization bug (batching disabled, one dispatch per
+// job, a lock convoy on the admission path), not machine variance.
+const (
+	serviceGateM         = 1000
+	serviceGateN         = 32
+	serviceMinJobsPerSec = 10.0
+)
+
+// serviceGates checks the absolute service-layer acceptance criteria on
+// one report: the ServiceQRCP throughput row at the gate shape must meet
+// the jobs/sec floor, and the latency quantile rows must exist and be
+// coherent (0 < p50 ≤ p99). Returns one message per violation; missing
+// rows are violations, not skips — a throughput claim without its
+// latency distribution attached is not admissible.
+func serviceGates(path string, rep *report) []string {
+	var errs []string
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s: %s", path, fmt.Sprintf(format, args...)))
+	}
+	var thr, p50, p99 *record
+	for i, r := range rep.Records {
+		if r.Name != "ServiceQRCP" || r.M != serviceGateM || r.N != serviceGateN {
+			continue
+		}
+		switch r.Stage {
+		case "":
+			thr = &rep.Records[i]
+		case "latency_p50":
+			p50 = &rep.Records[i]
+		case "latency_p99":
+			p99 = &rep.Records[i]
+		}
+	}
+	if thr == nil {
+		bad("missing ServiceQRCP throughput row at m=%d n=%d", serviceGateM, serviceGateN)
+	} else if thr.ProblemsPerSec < serviceMinJobsPerSec {
+		bad("ServiceQRCP %.1f jobs/s at m=%d n=%d below required %.1f",
+			thr.ProblemsPerSec, serviceGateM, serviceGateN, serviceMinJobsPerSec)
+	}
+	if p50 == nil || p99 == nil {
+		bad("missing ServiceQRCP latency_p50/latency_p99 rows at m=%d n=%d", serviceGateM, serviceGateN)
+	} else if !(p50.NsPerOp > 0 && p50.NsPerOp <= p99.NsPerOp) {
+		bad("ServiceQRCP latency quantiles incoherent: p50 %.0f ns, p99 %.0f ns (want 0 < p50 ≤ p99)",
+			p50.NsPerOp, p99.NsPerOp)
+	}
+	return errs
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_kernels.json", "committed baseline JSON")
 	candidate := flag.String("candidate", "", "freshly produced JSON to gate (required)")
@@ -279,6 +336,12 @@ func main() {
 	// randomized path's speedup and accuracy parity, whatever the baseline
 	// recorded.
 	for _, msg := range cqrrptGates(*candidate, cand) {
+		fmt.Fprintln(os.Stderr, "bench-check: gate:", msg)
+		fatal = true
+	}
+	// And the absolute service-layer gate: the served jobs/sec floor with
+	// a coherent latency distribution attached.
+	for _, msg := range serviceGates(*candidate, cand) {
 		fmt.Fprintln(os.Stderr, "bench-check: gate:", msg)
 		fatal = true
 	}

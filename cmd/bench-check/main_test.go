@@ -205,6 +205,70 @@ func TestCQRRPTGatesMissingRows(t *testing.T) {
 	}
 }
 
+// serviceReport returns a report satisfying the absolute service gate:
+// a ServiceQRCP throughput row over the jobs/sec floor at the gate shape
+// with coherent latency quantile rows attached.
+func serviceReport() *report {
+	return &report{
+		Schema: metrics.SchemaVersion,
+		Records: []record{
+			{Name: "ServiceQRCP", M: serviceGateM, N: serviceGateN, Iters: 400,
+				NsPerOp: 2e7, ProblemsPerSec: 150.0},
+			{Name: "ServiceQRCP", Stage: "latency_p50", M: serviceGateM, N: serviceGateN,
+				Iters: 400, NsPerOp: 1.5e7},
+			{Name: "ServiceQRCP", Stage: "latency_p99", M: serviceGateM, N: serviceGateN,
+				Iters: 400, NsPerOp: 9e7},
+		},
+	}
+}
+
+func TestServiceGatesPass(t *testing.T) {
+	if errs := validate("x.json", serviceReport()); len(errs) != 0 {
+		t.Fatalf("unexpected validation errors: %v", errs)
+	}
+	if errs := serviceGates("x.json", serviceReport()); len(errs) != 0 {
+		t.Fatalf("unexpected gate failures: %v", errs)
+	}
+}
+
+func TestServiceGatesThroughputFloor(t *testing.T) {
+	rep := serviceReport()
+	rep.Records[0].ProblemsPerSec = serviceMinJobsPerSec * 0.5
+	errs := serviceGates("x.json", rep)
+	if len(errs) != 1 || !strings.Contains(errs[0], "jobs/s") {
+		t.Fatalf("want one jobs/s floor failure, got %v", errs)
+	}
+}
+
+func TestServiceGatesMissingRows(t *testing.T) {
+	errs := serviceGates("x.json", sampleReport())
+	if len(errs) != 2 {
+		t.Fatalf("report without ServiceQRCP rows must fail both checks, got %v", errs)
+	}
+	for _, e := range errs {
+		if !strings.Contains(e, "missing") {
+			t.Fatalf("want missing-row failures, got %v", errs)
+		}
+	}
+	// The throughput row alone — jobs/sec without its latency
+	// distribution — is not admissible either.
+	rep := serviceReport()
+	rep.Records = rep.Records[:1]
+	errs = serviceGates("x.json", rep)
+	if len(errs) != 1 || !strings.Contains(errs[0], "latency_p50") {
+		t.Fatalf("want one missing-latency failure, got %v", errs)
+	}
+}
+
+func TestServiceGatesIncoherentQuantiles(t *testing.T) {
+	rep := serviceReport()
+	rep.Records[1].NsPerOp = rep.Records[2].NsPerOp * 2 // p50 > p99
+	errs := serviceGates("x.json", rep)
+	if len(errs) != 1 || !strings.Contains(errs[0], "incoherent") {
+		t.Fatalf("want one incoherent-quantile failure, got %v", errs)
+	}
+}
+
 func TestCompareGatesBatchThroughput(t *testing.T) {
 	base, cand := sampleReport(), sampleReport()
 	for i := range cand.Records {

@@ -1,0 +1,109 @@
+// Command qrcpd is the QRCP network daemon: it serves factorization
+// jobs over the length-prefixed TCP protocol of the service package,
+// size-bucketing concurrent jobs into Engine.QRCPBatch dispatches
+// behind an admission-controlled front door (bounded queue, per-tenant
+// width budgets, per-job deadlines).
+//
+// Usage:
+//
+//	qrcpd -addr 127.0.0.1:7611 -workers 0 -max-pending 256 \
+//	      -tenant-width 64 -batch 32 -flush 2ms
+//
+// On SIGINT/SIGTERM the server drains gracefully: the listener closes,
+// new jobs are rejected with the shutting-down status, waiting buckets
+// flush immediately, and in-flight jobs get their responses before the
+// process exits (bounded by -drain-timeout, past which in-flight
+// factorizations are cancelled cooperatively). Exit code 0 means a
+// clean drain.
+//
+// With -trace the internal/trace layer is enabled and the final
+// stage/counter breakdown — kernel stages and serve_* admission
+// counters in one table — is printed to stderr on exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	tsqrcp "repro"
+	"repro/internal/trace"
+	"repro/metrics"
+	"repro/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7611", "listen address")
+	workers := flag.Int("workers", 0, "engine parallel width (0 = all cores)")
+	maxPending := flag.Int("max-pending", 256, "admission queue bound (queued + in-flight jobs)")
+	tenantWidth := flag.Int("tenant-width", 64, "per-tenant engine-width budget (admitted jobs per tenant)")
+	batch := flag.Int("batch", 32, "bucket fill trigger (jobs per QRCPBatch dispatch)")
+	flush := flag.Duration("flush", 2*time.Millisecond, "bucket deadline trigger (max wait for a batch to fill)")
+	maxRows := flag.Int("max-rows", 1<<22, "largest accepted row count")
+	maxCols := flag.Int("max-cols", 1024, "largest accepted column count")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain bound on SIGTERM/SIGINT")
+	traced := flag.Bool("trace", false, "enable internal/trace and print the breakdown on exit")
+	flag.Parse()
+
+	if *traced {
+		trace.Reset()
+		trace.Enable()
+	}
+
+	srv := service.New(service.Config{
+		Engine:        tsqrcp.NewEngine(*workers),
+		MaxPending:    *maxPending,
+		TenantWidth:   *tenantWidth,
+		BatchSize:     *batch,
+		FlushInterval: *flush,
+		MaxRows:       *maxRows,
+		MaxCols:       *maxCols,
+	})
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	drained := make(chan error, 1)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "qrcpd: %v — draining (bound %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drained <- srv.Shutdown(ctx)
+	}()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qrcpd:", err)
+		os.Exit(1)
+	}
+	// The parseable readiness line CI and scripts wait for.
+	fmt.Printf("qrcpd: listening on %s\n", ln.Addr())
+
+	err = srv.Serve(ln)
+	if err != nil && err != service.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "qrcpd:", err)
+		os.Exit(1)
+	}
+	drainErr := <-drained
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"qrcpd: drained — accepted %d, completed %d, failed %d, deadline %d, rejected %d (queue) + %d (tenant), batches %d (%d full, %d deadline)\n",
+		st.Accepted, st.Completed, st.Failed, st.DeadlineExceeded,
+		st.RejectedQueue, st.RejectedTenant, st.Batches, st.FlushFull, st.FlushDeadline)
+	if *traced {
+		trace.Disable()
+		if err := metrics.WriteBreakdown(os.Stderr, trace.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, "qrcpd: trace:", err)
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "qrcpd: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	tsqrcp "repro"
+	"repro/mat"
+	"repro/testmat"
+)
+
+// TestFillTriggerFlushes: BatchSize same-shape jobs dispatch as one
+// batch without waiting out the flush interval.
+func TestFillTriggerFlushes(t *testing.T) {
+	srv := startServer(t, Config{BatchSize: 4, FlushInterval: time.Hour})
+	c := dialServer(t, srv)
+	rng := rand.New(rand.NewSource(21))
+	a := randMat(rng, 200, 8)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Factor(context.Background(), Request{A: a})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	st := srv.Stats()
+	if st.FlushFull != 1 || st.Batches != 1 {
+		t.Errorf("flush_full = %d batches = %d, want 1/1 (fill trigger, FlushInterval is 1h)", st.FlushFull, st.Batches)
+	}
+}
+
+// TestDeadlineTriggerFlushes: a lone job is dispatched after
+// FlushInterval even though its bucket never fills.
+func TestDeadlineTriggerFlushes(t *testing.T) {
+	srv := startServer(t, Config{BatchSize: 64, FlushInterval: 2 * time.Millisecond})
+	c := dialServer(t, srv)
+	rng := rand.New(rand.NewSource(22))
+
+	if _, err := c.Factor(context.Background(), Request{A: randMat(rng, 200, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.FlushDeadline != 1 || st.FlushFull != 0 {
+		t.Errorf("flush_deadline = %d flush_full = %d, want 1/0 (deadline trigger)", st.FlushDeadline, st.FlushFull)
+	}
+}
+
+// TestShapesBucketSeparately: different shapes (and different options)
+// never share a batch.
+func TestShapesBucketSeparately(t *testing.T) {
+	srv := startServer(t, Config{BatchSize: 2, FlushInterval: 5 * time.Millisecond})
+	c := dialServer(t, srv)
+	rng := rand.New(rand.NewSource(23))
+
+	a1 := randMat(rng, 200, 8)
+	a2 := randMat(rng, 300, 8) // different m
+	a3 := randMat(rng, 200, 8) // same shape as a1, CQRRPT options
+
+	var wg sync.WaitGroup
+	var errs [3]error
+	submit := func(i int, a *mat.Dense, opts *tsqrcp.Options) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = c.Factor(context.Background(), Request{A: a, Options: opts})
+		}()
+	}
+	submit(0, a1, nil)
+	submit(1, a2, nil)
+	submit(2, a3, &tsqrcp.Options{Strategy: tsqrcp.StrategyCQRRPT, Seed: 9})
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if st := srv.Stats(); st.Batches != 3 {
+		t.Errorf("batches = %d, want 3 (three distinct bucket keys)", st.Batches)
+	}
+}
+
+// TestManyConcurrentClients hammers the server with mixed bucket shapes
+// from many pipelined connections — the -race workload of the CI race
+// job — and checks every result bit-for-bit.
+func TestManyConcurrentClients(t *testing.T) {
+	srv := startServer(t, Config{BatchSize: 8, FlushInterval: time.Millisecond})
+	rng := rand.New(rand.NewSource(24))
+
+	shapes := []struct{ m, n int }{{200, 8}, {400, 16}, {600, 8}}
+	inputs := make([]*mat.Dense, len(shapes))
+	want := make([]*tsqrcp.Factorization, len(shapes))
+	for i, sh := range shapes {
+		inputs[i] = testmat.Generate(rng, sh.m, sh.n, (sh.n*3)/4, 1e-10)
+		f, err := tsqrcp.QRCP(inputs[i], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = f
+	}
+
+	const clients = 4
+	const jobsPerClient = 12
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients*jobsPerClient)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c, err := Dial(srv.Addr().String())
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			var jw sync.WaitGroup
+			for j := 0; j < jobsPerClient; j++ {
+				jw.Add(1)
+				go func(j int) {
+					defer jw.Done()
+					k := (ci + j) % len(shapes)
+					f, err := c.Factor(context.Background(), Request{
+						Tenant: fmt.Sprintf("client-%d", ci), A: inputs[k]})
+					if err != nil {
+						errCh <- fmt.Errorf("client %d job %d: %w", ci, j, err)
+						return
+					}
+					if !sameBits(f.Q, want[k].Q) || !sameBits(f.R, want[k].R) {
+						errCh <- fmt.Errorf("client %d job %d: served factors differ from in-process", ci, j)
+					}
+				}(j)
+			}
+			jw.Wait()
+		}(ci)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	st := srv.Stats()
+	if st.Accepted != clients*jobsPerClient {
+		t.Errorf("accepted = %d, want %d", st.Accepted, clients*jobsPerClient)
+	}
+	if st.Batches >= clients*jobsPerClient {
+		t.Errorf("batches = %d for %d jobs — bucketing never coalesced", st.Batches, clients*jobsPerClient)
+	}
+}
+
+// TestDrainTimeoutCancels: a Shutdown context that expires mid-job
+// cancels the engine cooperatively and the job still gets a terminal
+// response (shutting-down or deadline, never a hang).
+func TestDrainTimeoutCancels(t *testing.T) {
+	srv := startServer(t, Config{BatchSize: 1})
+	c := dialServer(t, srv)
+	rng := rand.New(rand.NewSource(25))
+	a := testmat.Generate(rng, 200000, 64, 50, 1e-10)
+
+	var wg sync.WaitGroup
+	var jobErr error
+	wg.Add(1)
+	go func() { defer wg.Done(); _, jobErr = c.Factor(context.Background(), Request{A: a}) }()
+	for {
+		if st := srv.Stats(); st.Accepted == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) && err != nil {
+		t.Fatalf("Shutdown = %v, want nil or DeadlineExceeded", err)
+	}
+	wg.Wait()
+	if jobErr == nil {
+		// The machine may genuinely have finished the job inside the
+		// window; that is a valid drain too.
+		return
+	}
+	if !errors.Is(jobErr, ErrShuttingDown) && !errors.Is(jobErr, ErrDeadlineExceeded) &&
+		!errors.Is(jobErr, net.ErrClosed) {
+		var netErr net.Error
+		if !errors.As(jobErr, &netErr) {
+			t.Errorf("cancelled job = %v, want a clean terminal error", jobErr)
+		}
+	}
+}
