@@ -4,8 +4,8 @@ GO ?= go
 COVER_MIN ?= 70
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: all ci build lint fmt-check vet repolint test test-debug race \
-	bench bench-json bench-smoke cover cover-gate repro repro-paper \
+.PHONY: all ci build lint fmt-check vet repolint test test-debug test-cgoblas \
+	race bench bench-json bench-smoke cover cover-gate repro repro-paper \
 	examples clean
 
 all: build vet test
@@ -15,7 +15,7 @@ all: build vet test
 # the race job, the coverage gate, and the benchmark smoke gate. Green
 # here ⇒ green on CI (modulo runner noise on bench-smoke, which CI
 # loosens via BENCH_TOLERANCE).
-ci: lint build test test-debug race cover-gate bench-smoke
+ci: lint build test test-debug test-cgoblas race cover-gate bench-smoke
 
 # Formatting, go vet, and the repo-specific static analyzer (DESIGN.md §7).
 lint: fmt-check vet repolint
@@ -46,6 +46,14 @@ test:
 # (NaN/Inf scans at kernel boundaries, mat header guards).
 test-debug:
 	$(GO) test -tags debugchecks ./...
+
+# Build and test with the cgo BLAS backend compiled in: the "cgoblas"
+# backend name resolves to the real C kernels instead of the native
+# fallback alias, and the conformance suite runs against them. Requires
+# a C toolchain (CGO_ENABLED=1).
+test-cgoblas:
+	$(GO) build -tags cgoblas ./...
+	$(GO) test -tags cgoblas ./internal/blas/ . ./service/
 
 race:
 	$(GO) test -race -timeout 10m . ./internal/... ./mat/ ./dist/ ./service/

@@ -1,0 +1,205 @@
+package tsqrcp
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/mat"
+	"repro/testmat"
+)
+
+func TestRegisteredBackends(t *testing.T) {
+	names := RegisteredBackends()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("RegisteredBackends not sorted: %v", names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"native", "mixed32", "cgoblas"} {
+		if !have[want] {
+			t.Fatalf("RegisteredBackends() = %v, missing %q", names, want)
+		}
+	}
+}
+
+func TestQRCPUnknownBackendError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := testmat.Generate(rng, 200, 12, 10, 1e-6)
+	_, err := QRCP(a, &Options{Backend: "no-such-backend"})
+	if err == nil {
+		t.Fatal("QRCP with unknown backend succeeded")
+	}
+	if !strings.Contains(err.Error(), `unknown backend "no-such-backend"`) {
+		t.Fatalf("error %q does not name the unknown backend", err)
+	}
+	if !strings.Contains(err.Error(), "native") {
+		t.Fatalf("error %q does not list registered backends", err)
+	}
+	if _, err := QRCPTruncated(a, 4, &Options{Backend: "no-such-backend"}); err == nil {
+		t.Fatal("QRCPTruncated with unknown backend succeeded")
+	}
+}
+
+func TestHouseholderQRCPUnknownBackendPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := testmat.Generate(rng, 100, 8, 8, 1e-4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HouseholderQRCP with unknown backend did not panic")
+		}
+	}()
+	HouseholderQRCP(a, &Options{Backend: "no-such-backend"})
+}
+
+func TestQRCPBatchUnknownBackendFailsFast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	problems := []*mat.Dense{
+		testmat.Generate(rng, 150, 10, 8, 1e-6),
+		testmat.Generate(rng, 150, 10, 8, 1e-6),
+	}
+	_, err := QRCPBatch(context.Background(), problems, &BatchOptions{
+		Options: Options{Backend: "no-such-backend"},
+	})
+	if err == nil {
+		t.Fatal("QRCPBatch with unknown backend succeeded")
+	}
+	if !strings.Contains(err.Error(), "no-such-backend") {
+		t.Fatalf("batch error %q does not name the unknown backend", err)
+	}
+}
+
+// TestQRCPNativeBackendBitIdentical pins the refactor's compatibility
+// contract: selecting "native" (or the fallback "cgoblas" alias in an
+// untagged build) must produce bit-identical results to the default
+// dispatch path.
+func TestQRCPNativeBackendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := testmat.Generate(rng, 500, 24, 20, 1e-10)
+	ref, err := QRCP(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []string{"native"} {
+		got, err := QRCP(a, &Options{Backend: backend})
+		if err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+		for i := range ref.Perm {
+			if got.Perm[i] != ref.Perm[i] {
+				t.Fatalf("backend %s: pivot %d is %d, default %d", backend, i, got.Perm[i], ref.Perm[i])
+			}
+		}
+		for _, pair := range []struct {
+			name      string
+			got, want *mat.Dense
+		}{{"Q", got.Q, ref.Q}, {"R", got.R, ref.R}} {
+			for i := 0; i < pair.want.Rows; i++ {
+				for j := 0; j < pair.want.Cols; j++ {
+					g := pair.got.Data[i*pair.got.Stride+j]
+					w := pair.want.Data[i*pair.want.Stride+j]
+					if math.Float64bits(g) != math.Float64bits(w) {
+						t.Fatalf("backend %s: %s[%d,%d] differs from default dispatch", backend, pair.name, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQRCPMixed32Backend runs the fp32-Gram backend end to end on a
+// well-conditioned matrix (κ₂ far below the mixed-precision breakdown
+// threshold of ~10³–10⁴) and checks the factorization quality the
+// backend's contract promises.
+func TestQRCPMixed32Backend(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := testmat.Generate(rng, 600, 16, 16, 1e-2)
+	f, err := QRCP(a, &Options{Backend: "mixed32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QᵀQ − I: limited by single-precision Gram roundoff, u₃₂·κ₂².
+	n := f.Q.Cols
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			s := 0.0
+			for l := 0; l < f.Q.Rows; l++ {
+				s += f.Q.At(l, i) * f.Q.At(l, j)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(s-want) > 1e-3 {
+				t.Fatalf("QᵀQ[%d,%d] = %g, want %g ± 1e-3", i, j, s, want)
+			}
+		}
+	}
+	// The reconstruction must still match A to fp32-level accuracy.
+	rec := f.Reconstruct()
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			if d := math.Abs(rec.At(i, j) - a.At(i, j)); d > 1e-3 {
+				t.Fatalf("reconstruction[%d,%d] off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+// TestEngineOneShotsMatchPackageHelpers pins the one-shot consolidation:
+// every package-level unpivoted helper must be exactly its Engine-method
+// counterpart on the default engine. (The default engine is compared to
+// itself rather than to a narrowed one because some algorithms — TSQR's
+// reduction tree, the parallel Gram reduction above its size threshold —
+// legitimately produce different bits at different widths.)
+func TestEngineOneShotsMatchPackageHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := testmat.Generate(rng, 300, 12, 12, 1e-4)
+	e := DefaultEngine()
+
+	type qrFn func() (*QR, error)
+	cases := []struct {
+		name      string
+		pkg, meth qrFn
+	}{
+		{"CholeskyQR", func() (*QR, error) { return CholeskyQR(a) }, func() (*QR, error) { return e.CholeskyQR(a) }},
+		{"CholeskyQR2", func() (*QR, error) { return CholeskyQR2(a) }, func() (*QR, error) { return e.CholeskyQR2(a) }},
+		{"ShiftedCholeskyQR3", func() (*QR, error) { return ShiftedCholeskyQR3(a) }, func() (*QR, error) { return e.ShiftedCholeskyQR3(a) }},
+		{"LUCholeskyQR2", func() (*QR, error) { return LUCholeskyQR2(a) }, func() (*QR, error) { return e.LUCholeskyQR2(a) }},
+		{"HouseholderQR", func() (*QR, error) { return HouseholderQR(a), nil }, func() (*QR, error) { return e.HouseholderQR(a), nil }},
+		{"TSQR", func() (*QR, error) { return TSQR(a), nil }, func() (*QR, error) { return e.TSQR(a), nil }},
+	}
+	for _, tc := range cases {
+		p, err := tc.pkg()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		m, err := tc.meth()
+		if err != nil {
+			t.Fatalf("%s (engine): %v", tc.name, err)
+		}
+		for _, pair := range []struct {
+			label     string
+			got, want *mat.Dense
+		}{{"Q", m.Q, p.Q}, {"R", m.R, p.R}} {
+			if pair.got.Rows != pair.want.Rows || pair.got.Cols != pair.want.Cols {
+				t.Fatalf("%s: %s shape mismatch", tc.name, pair.label)
+			}
+			for i := 0; i < pair.want.Rows; i++ {
+				for j := 0; j < pair.want.Cols; j++ {
+					g := pair.got.Data[i*pair.got.Stride+j]
+					w := pair.want.Data[i*pair.want.Stride+j]
+					if math.Float64bits(g) != math.Float64bits(w) {
+						t.Fatalf("%s: %s[%d,%d] differs between package helper and engine method",
+							tc.name, pair.label, i, j)
+					}
+				}
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blas"
 	"repro/mat"
 )
 
@@ -70,6 +71,16 @@ func (e *Engine) QRCPBatch(ctx context.Context, problems []*mat.Dense, opts *Bat
 		perProblem = o.Workers
 	}
 	pe := e.eng().WithContext(ctx).WithWorkers(perProblem)
+	// Resolve Options.Backend once up front: an unknown name fails the
+	// whole batch immediately instead of stamping the same error on every
+	// problem (each shard's QRCP re-resolves the name; by then it is known
+	// good).
+	if o != nil && o.Backend != "" {
+		var err error
+		if pe, err = blas.AttachBackend(pe, o.Backend); err != nil {
+			return results, err
+		}
+	}
 	shard := &Engine{pe: pe}
 
 	var cursor atomic.Int64

@@ -30,7 +30,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/parallel"
 	"repro/metrics"
 	"repro/service"
 	"repro/testmat"
@@ -39,8 +38,13 @@ import (
 // record/report mirror the shared BENCH_kernels.json layout
 // (bench/SCHEMA.md).
 type record struct {
-	Name           string  `json:"name"`
-	Stage          string  `json:"stage,omitempty"`
+	Name  string `json:"name"`
+	Stage string `json:"stage,omitempty"`
+	// Backend must round-trip here: the merge re-marshals every record
+	// bench-kernels wrote, and dropping the field would strip the label
+	// off the per-backend kernel rows (collapsing them into duplicate
+	// keys).
+	Backend        string  `json:"backend,omitempty"`
 	M              int     `json:"m"`
 	N              int     `json:"n"`
 	Iters          int     `json:"iters"`
@@ -59,7 +63,6 @@ type report struct {
 	Date       string   `json:"date"`
 	GoVersion  string   `json:"go_version"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
-	MaxWorkers int      `json:"max_workers"`
 	Records    []record `json:"records"`
 }
 
@@ -220,7 +223,6 @@ func writeMerged(path string, recs []record) error {
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		MaxWorkers: parallel.MaxWorkers(),
 	}
 	if buf, err := os.ReadFile(path); err == nil {
 		var base report

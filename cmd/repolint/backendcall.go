@@ -1,0 +1,123 @@
+package main
+
+// backendcall enforces the backend-dispatch contract of the pluggable
+// compute backends (DESIGN.md §13): the kernel methods of the
+// blas.Backend interface — GemmAcc, SyrkUpperAcc, TrsmRightUpper,
+// PermTrsmGram — are owned by internal/blas. Outside that package they
+// must never be invoked directly, neither through a Backend interface
+// value nor on a concrete type implementing it, because the exported
+// dispatchers (blas.Gemm, blas.SyrkUpperTrans / blas.Gram,
+// blas.TrsmRightUpperNoTrans, blas.PermTrsmGramFused) are where argument
+// validation, beta scaling, degenerate-shape early-outs, trace spans,
+// and per-backend flop attribution live. A direct method call skips all
+// of that and produces kernels invisible to the trace breakdown.
+//
+// Introspection methods (Name, Effective, GramTol) are not kernel calls
+// and stay allowed everywhere. Test files, which are not type-checked,
+// are screened syntactically by method name — the four names are
+// specific enough that a match outside internal/blas is a violation.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// backendKernelMethods maps each Backend kernel method to the exported
+// dispatcher callers must use instead.
+var backendKernelMethods = map[string]string{
+	"GemmAcc":        "blas.Gemm",
+	"SyrkUpperAcc":   "blas.SyrkUpperTrans or blas.Gram",
+	"TrsmRightUpper": "blas.TrsmRightUpperNoTrans",
+	"PermTrsmGram":   "blas.PermTrsmGramFused",
+}
+
+func checkBackendCall(p *Pass) {
+	if p.pathIn("internal/blas") {
+		return // the dispatchers and backend implementations live here
+	}
+	blasPath := p.Mod.Path + "/internal/blas"
+	iface := backendInterface(p.Mod, blasPath)
+	for _, file := range p.Pkg.Files {
+		checkBackendCallTyped(p, file, blasPath, iface)
+	}
+	for _, file := range p.Pkg.TestFiles {
+		checkBackendCallSyntactic(p, file)
+	}
+}
+
+// backendInterface resolves the type-checked blas.Backend interface, or
+// nil when the module has no such package/type (the receiver-name match
+// still applies).
+func backendInterface(mod *Module, blasPath string) *types.Interface {
+	for _, pkg := range mod.Pkgs {
+		if pkg.ImportPath != blasPath || pkg.Types == nil {
+			continue
+		}
+		obj := pkg.Types.Scope().Lookup("Backend")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}
+
+// checkBackendCallTyped flags calls whose callee is a kernel method
+// received on blas.Backend itself or on any type implementing it.
+func checkBackendCallTyped(p *Pass, file *ast.File, blasPath string, iface *types.Interface) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		dispatcher, kernel := backendKernelMethods[fn.Name()]
+		if !kernel {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		recv := sig.Recv().Type()
+		path, name := namedPath(recv)
+		onIface := path == blasPath && name == "Backend"
+		if !onIface && (iface == nil || !implementsBackend(recv, iface)) {
+			return true
+		}
+		p.reportf(file, call.Pos(), "direct call to backend kernel %s outside internal/blas; use the %s dispatcher so validation, trace spans, and flop attribution apply", fn.Name(), dispatcher)
+		return true
+	})
+}
+
+// implementsBackend reports whether t (or *t) satisfies the Backend
+// interface.
+func implementsBackend(t types.Type, iface *types.Interface) bool {
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}
+
+// checkBackendCallSyntactic is the test-file variant: without type
+// information, any selector call spelling a kernel method name is
+// flagged — the four names exist nowhere else in the module.
+func checkBackendCallSyntactic(p *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		dispatcher, kernel := backendKernelMethods[sel.Sel.Name]
+		if !kernel {
+			return true
+		}
+		p.reportf(file, call.Pos(), "direct call to backend kernel %s in a test outside internal/blas; use the %s dispatcher", sel.Sel.Name, dispatcher)
+		return true
+	})
+}

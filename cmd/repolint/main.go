@@ -8,6 +8,8 @@
 //	spanbalance       trace.Region spans always reach .End()
 //	enginethread      kernel packages thread *parallel.Engine instead of
 //	                  touching the default-engine shims
+//	backendcall       blas.Backend kernel methods are invoked only inside
+//	                  internal/blas; callers use the exported dispatchers
 //	floatcmp          no ==/!= between computed floating-point values
 //	norand            no global math/rand state outside testmat/ and tests
 //	hotpath           //repolint:hotpath functions stay free of fmt/log/

@@ -1,0 +1,37 @@
+// Package bad seeds backendcall violations: kernel-method calls outside
+// internal/blas, through the interface, through an embedding, and on a
+// local concrete implementation.
+package bad
+
+import (
+	"repro/internal/blas"
+	"repro/internal/parallel"
+)
+
+func viaInterface(bk blas.Backend, e *parallel.Engine, a, b, c []float64) {
+	bk.GemmAcc(e, 1, a, b, c)  // want "direct call to backend kernel GemmAcc outside internal/blas"
+	bk.TrsmRightUpper(e, b, c) // want "direct call to backend kernel TrsmRightUpper outside internal/blas"
+}
+
+// wrapped embeds the interface; the promoted methods are still the
+// backend kernels.
+type wrapped struct{ blas.Backend }
+
+func viaEmbedding(w wrapped, e *parallel.Engine, a, c []float64) {
+	w.SyrkUpperAcc(e, 1, a, c) // want "direct call to backend kernel SyrkUpperAcc outside internal/blas"
+}
+
+// localImpl is a concrete Backend implementation defined outside
+// internal/blas — calling its kernels directly bypasses dispatch just
+// the same.
+type localImpl struct{}
+
+func (localImpl) GemmAcc(e *parallel.Engine, alpha float64, a, b, c []float64)          {}
+func (localImpl) SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c []float64)        {}
+func (localImpl) TrsmRightUpper(e *parallel.Engine, b, r []float64)                     {}
+func (localImpl) PermTrsmGram(e *parallel.Engine, b []float64, p []int, r, g []float64) {}
+func (localImpl) GramTol() float64                                                      { return 1e-7 }
+
+func viaConcrete(e *parallel.Engine, b []float64, perm []int, r, g []float64) {
+	localImpl{}.PermTrsmGram(e, b, perm, r, g) // want "direct call to backend kernel PermTrsmGram outside internal/blas"
+}

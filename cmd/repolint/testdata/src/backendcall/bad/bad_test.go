@@ -1,0 +1,11 @@
+package bad
+
+import "testing"
+
+// Test files are screened syntactically: any selector call spelling a
+// kernel method name is a violation regardless of receiver type.
+func TestDirectKernelCall(t *testing.T) {
+	var bk anyBackend
+	bk.TrsmRightUpper(nil, nil, nil)  // want "direct call to backend kernel TrsmRightUpper in a test outside internal/blas"
+	bk.GemmAcc(nil, 1, nil, nil, nil) // want "direct call to backend kernel GemmAcc in a test outside internal/blas"
+}

@@ -1,0 +1,26 @@
+// Package good exercises the legal surface around the backend API:
+// dispatcher calls and introspection methods are fine anywhere, and
+// method names colliding with the kernels on types unrelated to
+// blas.Backend are not flagged.
+package good
+
+import (
+	"repro/internal/blas"
+	"repro/internal/parallel"
+)
+
+func viaDispatchers(e *parallel.Engine, a, b, c []float64) {
+	blas.Gemm(e, 1, a, b, c)
+	blas.TrsmRightUpperNoTrans(e, b, c)
+}
+
+// introspection is not a kernel call.
+func introspection(bk blas.Backend) float64 { return bk.GramTol() }
+
+// notABackend shares a method name with the kernel interface but does
+// not implement blas.Backend — no finding.
+type notABackend struct{}
+
+func (notABackend) GemmAcc(x int) int { return x }
+
+func unrelatedName(n notABackend) int { return n.GemmAcc(3) }

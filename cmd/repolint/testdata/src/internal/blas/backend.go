@@ -1,0 +1,39 @@
+// Stub of the pluggable-backend surface of the real repro/internal/blas:
+// the Backend kernel interface and one exported dispatcher. Calls to the
+// kernel methods in this package are the dispatch layer itself and must
+// NOT be flagged by backendcall.
+package blas
+
+import "repro/internal/parallel"
+
+// Backend is the pluggable kernel interface (method names match the real
+// one; signatures are simplified — the check keys on names and receiver
+// types only).
+type Backend interface {
+	GemmAcc(e *parallel.Engine, alpha float64, a, b, c []float64)
+	SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c []float64)
+	TrsmRightUpper(e *parallel.Engine, b, r []float64)
+	PermTrsmGram(e *parallel.Engine, b []float64, perm []int, r, g []float64)
+	GramTol() float64
+}
+
+type nativeBackend struct{}
+
+func (nativeBackend) GemmAcc(e *parallel.Engine, alpha float64, a, b, c []float64)          {}
+func (nativeBackend) SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c []float64)        {}
+func (nativeBackend) TrsmRightUpper(e *parallel.Engine, b, r []float64)                     {}
+func (nativeBackend) PermTrsmGram(e *parallel.Engine, b []float64, p []int, r, g []float64) {}
+func (nativeBackend) GramTol() float64                                                      { return 1e-10 }
+
+var defaultBackend Backend = nativeBackend{}
+
+// Gemm is the exported dispatcher: validating, tracing, then invoking
+// the backend kernel — the one place such calls are legal.
+func Gemm(e *parallel.Engine, alpha float64, a, b, c []float64) {
+	defaultBackend.GemmAcc(e, alpha, a, b, c)
+}
+
+// TrsmRightUpperNoTrans dispatches the triangular solve.
+func TrsmRightUpperNoTrans(e *parallel.Engine, b, r []float64) {
+	defaultBackend.TrsmRightUpper(e, b, r)
+}

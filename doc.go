@@ -55,6 +55,31 @@
 // Worker bounds are per-engine (and per-call via Options.Workers), never
 // process-global, so any number of engines can run concurrently.
 //
+// Migration note: the deprecated process-global width shim
+// parallel.SetMaxWorkers/MaxWorkers has been removed. Code that called it
+// should construct an engine of the desired width with NewEngine (or
+// derive one with Engine.WithWorkers) and pass per-call overrides through
+// Options.Workers.
+//
+// # Compute backends
+//
+// The hot kernels (Gram/SYRK, GEMM, triangular solve, and the fused
+// permute→TRSM→Gram pass) dispatch through a pluggable backend registry.
+// Options.Backend selects one by name for a call; RegisteredBackends
+// reports what this binary was built with:
+//
+//	f, err := tsqrcp.QRCP(a, &tsqrcp.Options{Backend: "mixed32"})
+//	names := tsqrcp.RegisteredBackends() // e.g. [cgoblas mixed32 native]
+//
+// Built-in backends: "native" (the default pure-Go kernels, bit-identical
+// to the pre-registry implementation), "mixed32" (float32 Gram
+// accumulation — fast, but only accurate for well-conditioned inputs,
+// κ₂(A) ≲ 10³–10⁴), and "cgoblas" (a C-kernel binding compiled in with
+// the "cgoblas" build tag; without the tag the name resolves to a native
+// fallback alias so selection code is portable). An empty Options.Backend
+// means "native". Unknown names return an error naming the backend; see
+// DESIGN.md §13 for the backend contract and accuracy envelopes.
+//
 // # Performance
 //
 // Tall-skinny factorizations are memory-bandwidth-bound, so the

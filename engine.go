@@ -3,6 +3,7 @@ package tsqrcp
 import (
 	"context"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/internal/parallel"
 	"repro/internal/trace"
@@ -64,13 +65,18 @@ func (e *Engine) eng() *parallel.Engine {
 }
 
 // callEngine derives the internal engine for one call: the engine's own
-// width and context, narrowed to opts.Workers when set.
-func (e *Engine) callEngine(opts *Options) *parallel.Engine {
+// width and context, narrowed to opts.Workers when set, dispatching the
+// hot kernels through opts.Backend when set. An unknown backend name is
+// an error naming the registered set.
+func (e *Engine) callEngine(opts *Options) (*parallel.Engine, error) {
 	pe := e.eng()
 	if opts != nil && opts.Workers > 0 {
 		pe = pe.WithWorkers(opts.Workers)
 	}
-	return pe
+	if opts != nil && opts.Backend != "" {
+		return blas.AttachBackend(pe, opts.Backend)
+	}
+	return pe, nil
 }
 
 // QRCP computes the QR factorization with column pivoting of a tall-skinny
@@ -78,14 +84,17 @@ func (e *Engine) callEngine(opts *Options) *parallel.Engine {
 // Options.Strategy for the randomized CQRRPT alternative.
 // Returns the engine's context error if cancelled mid-factorization.
 func (e *Engine) QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
+	pe, err := e.callEngine(opts)
+	if err != nil {
+		return nil, err
+	}
 	sp := trace.Region(trace.StageTotal)
 	defer sp.End()
 	var res *core.CPResult
-	var err error
 	if opts.strategy() == StrategyCQRRPT {
-		res, err = core.CQRRPT(e.callEngine(opts), a, opts.tol(), opts.seed())
+		res, err = core.CQRRPT(pe, a, opts.tol(), opts.seed())
 	} else {
-		res, err = core.IteCholQRCP(e.callEngine(opts), a, opts.tol())
+		res, err = core.IteCholQRCP(pe, a, opts.tol())
 	}
 	if err != nil {
 		return nil, err
@@ -96,22 +105,86 @@ func (e *Engine) QRCP(a *mat.Dense, opts *Options) (*Factorization, error) {
 
 // HouseholderQRCP computes the pivoted factorization with the blocked
 // Householder baseline on this engine; see the package-level function.
+// The signature predates Options.Backend and has no error return, so an
+// unknown opts.Backend panics rather than being silently ignored.
 func (e *Engine) HouseholderQRCP(a *mat.Dense, opts *Options) *Factorization {
+	pe, err := e.callEngine(opts)
+	if err != nil {
+		panic(err)
+	}
 	sp := trace.Region(trace.StageTotal)
 	defer sp.End()
-	res := core.HQRCP(e.callEngine(opts), a)
+	res := core.HQRCP(pe, a)
 	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm, Rank: a.Cols}
 }
 
 // QRCPTruncated computes a rank-k truncated pivoted QR factorization on
 // this engine; see the package-level function.
 func (e *Engine) QRCPTruncated(a *mat.Dense, k int, opts *Options) (*Factorization, error) {
+	pe, err := e.callEngine(opts)
+	if err != nil {
+		return nil, err
+	}
 	sp := trace.Region(trace.StageTotal)
 	defer sp.End()
-	res, err := core.IteCholQRCPPartial(e.callEngine(opts), a, opts.tol(), k)
+	res, err := core.IteCholQRCPPartial(pe, a, opts.tol(), k)
 	if err != nil {
 		return nil, err
 	}
 	return &Factorization{Q: res.Q, R: res.R, Perm: res.Perm,
 		Rank: res.Rank, Iterations: res.Iterations}, nil
+}
+
+// qrCall is the single entry point every unpivoted one-shot helper and
+// Engine method funnels through: it derives the engine's internal handle
+// and adapts the core result to the public QR shape, so engine scoping
+// (width, context, backend) is applied in exactly one place.
+func (e *Engine) qrCall(algo func(*parallel.Engine, *mat.Dense) (*core.QR, error), a *mat.Dense) (*QR, error) {
+	qr, err := algo(e.eng(), a)
+	if err != nil {
+		return nil, err
+	}
+	return &QR{Q: qr.Q, R: qr.R}, nil
+}
+
+// CholeskyQR computes the thin QR factorization by a single Cholesky
+// pass on this engine; see the package-level CholeskyQR.
+func (e *Engine) CholeskyQR(a *mat.Dense) (*QR, error) { return e.qrCall(core.CholQR, a) }
+
+// CholeskyQR2 computes the thin QR factorization with one
+// reorthogonalization pass on this engine; see the package-level
+// CholeskyQR2.
+func (e *Engine) CholeskyQR2(a *mat.Dense) (*QR, error) { return e.qrCall(core.CholQR2, a) }
+
+// ShiftedCholeskyQR3 computes the thin QR factorization of arbitrarily
+// ill-conditioned matrices on this engine; see the package-level
+// ShiftedCholeskyQR3.
+func (e *Engine) ShiftedCholeskyQR3(a *mat.Dense) (*QR, error) {
+	return e.qrCall(core.ShiftedCholQR3, a)
+}
+
+// LUCholeskyQR2 computes the thin QR factorization by LU-Cholesky QR on
+// this engine; see the package-level LUCholeskyQR2.
+func (e *Engine) LUCholeskyQR2(a *mat.Dense) (*QR, error) { return e.qrCall(core.LUCholQR2, a) }
+
+// HouseholderQR computes the thin QR factorization by blocked
+// Householder reflections on this engine; see the package-level
+// HouseholderQR.
+func (e *Engine) HouseholderQR(a *mat.Dense) *QR {
+	qr, _ := e.qrCall(infallible(core.HouseholderQR), a)
+	return qr
+}
+
+// TSQR computes the thin QR factorization by the communication-avoiding
+// reduction tree on this engine; see the package-level TSQR.
+func (e *Engine) TSQR(a *mat.Dense) *QR {
+	qr, _ := e.qrCall(infallible(core.TSQR), a)
+	return qr
+}
+
+// infallible adapts an error-free core algorithm to qrCall's signature.
+func infallible(algo func(*parallel.Engine, *mat.Dense) *core.QR) func(*parallel.Engine, *mat.Dense) (*core.QR, error) {
+	return func(pe *parallel.Engine, a *mat.Dense) (*core.QR, error) {
+		return algo(pe, a), nil
+	}
 }

@@ -1,0 +1,192 @@
+package blas
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/trace"
+	"repro/mat"
+)
+
+// Backend is a pluggable implementation of the four hot kernels that
+// dominate every factorization in this repo: the Gram/SYRK accumulation,
+// GEMM, the right-side TRSM of Cholesky QR, and the fused
+// permute→TRSM→Gram streaming pass. The exported package functions
+// (Gemm, SyrkUpperTrans, TrsmRightUpperNoTrans, PermTrsmGramFused, Gram)
+// stay the only entry points callers use; they validate arguments, apply
+// beta scaling, open trace spans with the backend label, and then
+// dispatch to the backend carried by the engine (see parallel.Engine's
+// opaque backend handle). A nil or unlabeled engine dispatches to the
+// default "native" backend, whose methods run the exact pure-Go packed
+// kernels this package has always shipped — bit for bit.
+//
+// Contract every backend must honor (enforced by the conformance suite
+// in backend_conformance_test.go):
+//
+//   - Results match the float64 reference kernels to the backend's own
+//     GramTol (fp64 backends: a few ULP; reduced-precision backends:
+//     their accumulation precision).
+//   - Width determinism: TrsmRightUpper and PermTrsmGram must be
+//     bit-identical across engine widths — these feed the dist-lockstep
+//     CQRRPT path, where replicated ranks diverge on a single bit.
+//     Reductions in PermTrsmGram must therefore use fixed-shape
+//     partitions (fusedSlots-style), never width-dependent ones.
+//     GemmAcc and SyrkUpperAcc may partition their reductions by width
+//     (the native ones do) but must stay within GramTol of the
+//     width-1 result.
+//   - The sequential hot path (width-1 engine) is allocation-free after
+//     pool warmup.
+type Backend interface {
+	// GemmAcc accumulates C += alpha·op(A)·op(B). The dispatcher has
+	// already validated shapes, applied beta to C, and returned early for
+	// alpha == 0 or empty dimensions.
+	GemmAcc(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b, c *mat.Dense)
+	// SyrkUpperAcc accumulates the upper triangle of C += alpha·AᵀA.
+	// beta scaling and the alpha == 0 / empty early-outs happen in the
+	// dispatcher.
+	SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c *mat.Dense)
+	// TrsmRightUpper solves B := B·R⁻¹ in place for upper triangular R.
+	// The dispatcher has already rejected singular R.
+	TrsmRightUpper(e *parallel.Engine, b, r *mat.Dense)
+	// PermTrsmGram applies B := (B·P)·R⁻¹ and accumulates the upper
+	// triangle of G := BᵀB into the pre-zeroed G in one logical pass.
+	// The dispatcher symmetrizes G afterwards.
+	PermTrsmGram(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *mat.Dense)
+	// GramTol reports the relative accuracy of the backend's Gram-type
+	// accumulation against an exact float64 reference — the tolerance the
+	// conformance suite verifies the backend against. fp64 backends
+	// report ~1e-10; the fp32-accumulate backend reports its single
+	// precision bound.
+	GramTol() float64
+}
+
+// Handle is a registered backend: the implementation plus its registry
+// name and trace label. Engines carry a *Handle as their opaque backend
+// value; Lookup returns the Handle for a name.
+type Handle struct {
+	name      string
+	effective string // name of the implementation actually running
+	impl      Backend
+	traceID   int
+}
+
+// Name returns the name the backend registered under.
+func (h *Handle) Name() string { return h.name }
+
+// Effective returns the name of the implementation that actually serves
+// this handle's kernels. It differs from Name only for fallback aliases:
+// in a build without the cgoblas tag, Lookup("cgoblas") succeeds but
+// Effective reports "native".
+func (h *Handle) Effective() string { return h.effective }
+
+// GramTol exposes the backend's conformance tolerance (see
+// Backend.GramTol).
+func (h *Handle) GramTol() float64 { return h.impl.GramTol() }
+
+var registry struct {
+	mu sync.RWMutex
+	m  map[string]*Handle
+}
+
+// Register adds a backend under the given name. It fails (rather than
+// panicking) on an empty name or a duplicate registration so tests and
+// external registrants get a diagnosable error; the built-in backends use
+// mustRegister at init.
+func Register(name string, b Backend) error {
+	return register(name, name, b)
+}
+
+func register(name, effective string, b Backend) error {
+	if name == "" {
+		return fmt.Errorf("blas: Register with empty backend name")
+	}
+	if b == nil {
+		return fmt.Errorf("blas: Register %q with nil backend", name)
+	}
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.m == nil {
+		registry.m = make(map[string]*Handle)
+	}
+	if _, ok := registry.m[name]; ok {
+		return fmt.Errorf("blas: backend %q already registered", name)
+	}
+	registry.m[name] = &Handle{
+		name:      name,
+		effective: effective,
+		impl:      b,
+		traceID:   trace.RegisterBackendLabel(effective),
+	}
+	return nil
+}
+
+func mustRegister(name string, b Backend) {
+	if err := Register(name, b); err != nil {
+		panic(err)
+	}
+}
+
+// registerFallback registers name as an alias served by the effective
+// backend's implementation — the no-op-fallback pattern that keeps
+// build-tag-gated backends selectable (and their selection meaningful) in
+// builds that exclude the real implementation.
+func registerFallback(name, effective string, b Backend) {
+	if err := register(name, effective, b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a backend name to its Handle. The empty name means the
+// default backend ("native"). Unknown names return an error listing what
+// is registered, so a mistyped Options.Backend is diagnosable.
+func Lookup(name string) (*Handle, error) {
+	if name == "" {
+		return nativeHandle, nil
+	}
+	registry.mu.RLock()
+	h, ok := registry.m[name]
+	registry.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("blas: unknown backend %q (registered: %v)", name, Backends())
+	}
+	return h, nil
+}
+
+// Backends returns the sorted names of every registered backend.
+func Backends() []string {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AttachBackend returns an engine derived from e that dispatches the hot
+// kernels through the named backend ("" keeps the default). The returned
+// engine carries the backend through WithContext/WithWorkers derivations.
+func AttachBackend(e *parallel.Engine, name string) (*parallel.Engine, error) {
+	h, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if h == nativeHandle && e.Backend() == nil {
+		return e, nil
+	}
+	return e.WithBackend(h), nil
+}
+
+// backendFor resolves the backend handle an engine carries; nil engines
+// and engines without a handle use the native backend. A foreign value in
+// the engine's backend slot (impossible through AttachBackend) also falls
+// back to native rather than panicking deep inside a kernel.
+func backendFor(e *parallel.Engine) *Handle {
+	if h, ok := e.Backend().(*Handle); ok && h != nil {
+		return h
+	}
+	return nativeHandle
+}

@@ -1,0 +1,309 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// The backend conformance suite: every registered backend — including
+// build-tag fallbacks and anything tests register on top — must satisfy
+// the Backend contract documented in backend.go. The suite runs each
+// check against each name returned by Backends(), so adding a backend
+// automatically puts it under test.
+
+func backendEngine(t *testing.T, name string, w int) *parallel.Engine {
+	t.Helper()
+	e, err := AttachBackend(parallel.NewEngine(w), name)
+	if err != nil {
+		t.Fatalf("AttachBackend(%q): %v", name, err)
+	}
+	return e
+}
+
+// sameBits fails unless got and want are bit-identical.
+func sameBits(t *testing.T, label string, got, want *mat.Dense) {
+	t.Helper()
+	for i := 0; i < got.Rows; i++ {
+		for j := 0; j < got.Cols; j++ {
+			g := got.Data[i*got.Stride+j]
+			w := want.Data[i*want.Stride+j]
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("%s[%d,%d]: %x vs reference %x", label, i, j,
+					math.Float64bits(g), math.Float64bits(w))
+			}
+		}
+	}
+}
+
+func TestBackendConformance(t *testing.T) {
+	for _, name := range Backends() {
+		h, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		tol := h.GramTol()
+		t.Run(name, func(t *testing.T) {
+			t.Run("Gemm", func(t *testing.T) { testBackendGemm(t, name, tol) })
+			t.Run("Syrk", func(t *testing.T) { testBackendSyrk(t, name, tol) })
+			t.Run("Trsm", func(t *testing.T) { testBackendTrsm(t, name, tol) })
+			t.Run("Fused", func(t *testing.T) { testBackendFused(t, name, tol) })
+			t.Run("WidthDeterminism", func(t *testing.T) { testBackendWidthDeterminism(t, name, tol) })
+			t.Run("SequentialAllocFree", func(t *testing.T) { testBackendAllocFree(t, name) })
+		})
+	}
+}
+
+// testBackendGemm checks all four transpose combinations against the
+// elementwise reference, sized past gemmParallelFlops so the parallel
+// paths engage.
+func testBackendGemm(t *testing.T, name string, tol float64) {
+	rng := rand.New(rand.NewSource(11))
+	e := backendEngine(t, name, 4)
+	const m, n, k = 150, 40, 60
+	for _, tc := range []struct{ tA, tB Transpose }{
+		{NoTrans, NoTrans}, {Trans, NoTrans}, {NoTrans, Trans}, {Trans, Trans},
+	} {
+		ar, ac, br, bc := m, k, k, n
+		if tc.tA == Trans {
+			ar, ac = k, m
+		}
+		if tc.tB == Trans {
+			br, bc = n, k
+		}
+		a := randDenseStrided(rng, ar, ac)
+		b := randDenseStrided(rng, br, bc)
+		c := randDense(rng, m, n)
+		want := c.Clone()
+		Gemm(e, tc.tA, tc.tB, 1.5, a, b, 0.5, c)
+		naiveGemm(tc.tA, tc.tB, 1.5, a, b, 0.5, want)
+		checkULPClose(t, "C", c, want, math.Max(tol, 1e-12)*float64(k))
+	}
+}
+
+// testBackendSyrk compares the Gram accumulation against the elementwise
+// float64 reference. The error bound scales with the summation length:
+// a dot product of m unit-variance terms has magnitude ~m on the
+// diagonal, and a backend's GramTol is relative to that scale.
+func testBackendSyrk(t *testing.T, name string, tol float64) {
+	rng := rand.New(rand.NewSource(13))
+	e := backendEngine(t, name, 4)
+	const m, n = 4500, 16 // > 1 reduction slot, parallel path engaged
+	a := randDenseStrided(rng, m, n)
+	c := randDense(rng, n, n)
+	want := c.Clone()
+	SyrkUpperTrans(e, 2, a, 0.25, c)
+	naiveSyrkUpper(2, a, 0.25, want)
+	bound := tol * float64(m)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			g := c.Data[i*c.Stride+j]
+			w := want.Data[i*want.Stride+j]
+			if d := math.Abs(g - w); d > bound {
+				t.Fatalf("G[%d,%d]: %v vs reference %v (|diff| %g > %g)", i, j, g, w, d, bound)
+			}
+		}
+	}
+}
+
+// testBackendTrsm solves B := B·R⁻¹ and multiplies back: X·R must
+// reconstruct the original B.
+func testBackendTrsm(t *testing.T, name string, tol float64) {
+	rng := rand.New(rand.NewSource(17))
+	e := backendEngine(t, name, 4)
+	const m, n = 3000, 24
+	b := randDenseStrided(rng, m, n)
+	r := randUpperWellCond(rng, n)
+	b0 := b.Clone()
+	TrsmRightUpperNoTrans(e, b, r)
+	recon := mat.NewDense(m, n)
+	naiveGemm(NoTrans, NoTrans, 1, b, r, 0, recon)
+	checkULPClose(t, "B·R⁻¹·R", recon, b0, math.Max(tol, 1e-11)*float64(n))
+}
+
+// testBackendFused checks the fused permute→TRSM→Gram pass against the
+// same backend's unfused composition, so reduced-precision backends are
+// compared at their own precision rather than against float64.
+func testBackendFused(t *testing.T, name string, tol float64) {
+	rng := rand.New(rand.NewSource(19))
+	e := backendEngine(t, name, 4)
+	const m, n = 4500, 24
+	b := randDense(rng, m, n)
+	r := randUpperWellCond(rng, n)
+	perm := randPerm(rng, n)
+
+	bRef := b.Clone()
+	gRef := mat.NewDense(n, n)
+	refPermTrsmGram(e, bRef, perm, r, gRef)
+
+	g := mat.NewDense(n, n)
+	PermTrsmGramFused(e, b, perm, r, g)
+	checkULPClose(t, "B", b, bRef, 1e-11)
+	checkULPClose(t, "G", g, gRef, math.Max(tol, 1e-10))
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if g.Data[i*g.Stride+j] != g.Data[j*g.Stride+i] {
+				t.Fatalf("G not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// testBackendWidthDeterminism checks the per-kernel determinism
+// contract: TrsmRightUpper and PermTrsmGram (the dist-lockstep CQRRPT
+// path) must be bit-identical across engine widths, while the Gemm and
+// Syrk accumulations may repartition by width but must stay within
+// GramTol of the width-1 result.
+func testBackendWidthDeterminism(t *testing.T, name string, tol float64) {
+	rng := rand.New(rand.NewSource(23))
+	const m, n = 8192, 24 // several slots, parallel paths engaged
+	a0 := randDense(rng, m, n)
+	b0 := randDense(rng, m, n)
+	r := randUpperWellCond(rng, n)
+	perm := randPerm(rng, n)
+
+	type result struct{ gemm, syrk, trsm, fusedB, fusedG *mat.Dense }
+	run := func(w int) result {
+		e := backendEngine(t, name, w)
+		var res result
+		res.gemm = mat.NewDense(n, n)
+		Gemm(e, Trans, NoTrans, 1, a0, b0, 0, res.gemm)
+		res.syrk = mat.NewDense(n, n)
+		SyrkUpperTrans(e, 1, a0, 0, res.syrk)
+		res.trsm = b0.Clone()
+		TrsmRightUpperNoTrans(e, res.trsm, r)
+		res.fusedB = b0.Clone()
+		res.fusedG = mat.NewDense(n, n)
+		PermTrsmGramFused(e, res.fusedB, perm, r, res.fusedG)
+		return res
+	}
+
+	accTol := math.Max(tol, 1e-13)
+	ref := run(1)
+	for _, w := range []int{2, 3, 8} {
+		got := run(w)
+		checkULPClose(t, "Gemm", got.gemm, ref.gemm, accTol)
+		checkULPClose(t, "Syrk", got.syrk, ref.syrk, accTol)
+		sameBits(t, "Trsm", got.trsm, ref.trsm)
+		sameBits(t, "Fused.B", got.fusedB, ref.fusedB)
+		sameBits(t, "Fused.G", got.fusedG, ref.fusedG)
+	}
+}
+
+// testBackendAllocFree pins the pooled-workspace invariant per backend:
+// on a width-1 engine, each kernel performs zero heap allocations once
+// the pools are warm.
+func testBackendAllocFree(t *testing.T, name string) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts at random; alloc counts are meaningless")
+	}
+	rng := rand.New(rand.NewSource(29))
+	e := backendEngine(t, name, 1)
+	const m, n = 2000, 16
+	a := randDense(rng, m, n)
+	b := randDense(rng, m, n)
+	r := randUpperWellCond(rng, n)
+	perm := randPerm(rng, n)
+	c := mat.NewDense(n, n)
+	g := mat.NewDense(n, n)
+
+	kernels := []struct {
+		label string
+		run   func()
+	}{
+		{"Gemm", func() { Gemm(e, Trans, NoTrans, 1, a, b, 0, c) }},
+		{"Syrk", func() { SyrkUpperTrans(e, 1, a, 0, c) }},
+		{"Trsm", func() { TrsmRightUpperNoTrans(e, b, r) }},
+		{"Fused", func() { PermTrsmGramFused(e, b, perm, r, g) }},
+	}
+	for _, k := range kernels {
+		k.run() // warm the pools
+		if allocs := testing.AllocsPerRun(5, k.run); allocs != 0 {
+			t.Errorf("%s: %v allocations per sequential run, want 0", k.label, allocs)
+		}
+	}
+}
+
+// --- registry semantics ---
+
+type stubBackend struct{ nativeBackend }
+
+func TestRegisterDuplicateName(t *testing.T) {
+	if err := Register("conformance-dup", stubBackend{}); err != nil {
+		t.Fatalf("first registration: %v", err)
+	}
+	err := Register("conformance-dup", stubBackend{})
+	if err == nil {
+		t.Fatal("duplicate registration succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration error %q, want mention of already registered", err)
+	}
+}
+
+func TestRegisterRejectsEmptyAndNil(t *testing.T) {
+	if err := Register("", stubBackend{}); err == nil {
+		t.Fatal("empty-name registration succeeded, want error")
+	}
+	if err := Register("conformance-nil", nil); err == nil {
+		t.Fatal("nil-backend registration succeeded, want error")
+	}
+}
+
+func TestLookupUnknownBackendErrorText(t *testing.T) {
+	_, err := Lookup("no-such-backend")
+	if err == nil {
+		t.Fatal("Lookup of unknown backend succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown backend "no-such-backend"`) {
+		t.Fatalf("error %q does not name the unknown backend", msg)
+	}
+	if !strings.Contains(msg, `"native"`) && !strings.Contains(msg, "native") {
+		t.Fatalf("error %q does not list registered backends", msg)
+	}
+}
+
+func TestLookupEmptyIsNative(t *testing.T) {
+	h, err := Lookup("")
+	if err != nil {
+		t.Fatalf("Lookup(\"\"): %v", err)
+	}
+	if h.Name() != "native" || h.Effective() != "native" {
+		t.Fatalf("default handle = %q/%q, want native/native", h.Name(), h.Effective())
+	}
+}
+
+func TestBackendsIncludesBuiltins(t *testing.T) {
+	names := Backends()
+	if len(names) < 2 {
+		t.Fatalf("RegisteredBackends = %v, want at least native and mixed32", names)
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range []string{"native", "mixed32", "cgoblas"} {
+		if !have[want] {
+			t.Fatalf("Backends() = %v, missing %q", names, want)
+		}
+	}
+}
+
+func TestAttachBackendDefaultIsPassthrough(t *testing.T) {
+	e := parallel.NewEngine(3)
+	got, err := AttachBackend(e, "")
+	if err != nil {
+		t.Fatalf("AttachBackend(\"\"): %v", err)
+	}
+	if got != e {
+		t.Fatal("attaching the default backend to an unlabeled engine should return it unchanged")
+	}
+	if _, err := AttachBackend(e, "definitely-not-registered"); err == nil {
+		t.Fatal("AttachBackend with unknown name succeeded")
+	}
+}

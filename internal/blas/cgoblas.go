@@ -1,0 +1,128 @@
+//go:build cgoblas && cgo
+
+package blas
+
+// The cgoblas backend: a C binding behind the "cgoblas" build tag, the
+// crowdsurf matrix/gpu pattern — the real implementation compiles only
+// when both the tag and cgo are available, and a no-op fallback
+// (cgoblas_stub.go) keeps stdlib-only builds working with the same
+// selectable name. The container has no vendor BLAS to link, so the C
+// side ships portable reference kernels in the cgo preamble; swapping
+// the bodies for dgemm_/dsyrk_/dtrsm_ calls plus `#cgo LDFLAGS:
+// -lopenblas` turns this into a real vendor binding without touching the
+// Go side. Kernels are sequential C, so width determinism is trivial;
+// the per-call cost is one cgo transition per kernel, amortized over the
+// m·n² work of the tall-skinny shapes this library targets.
+
+/*
+#cgo CFLAGS: -O2
+#include <stddef.h>
+
+static void ref_dgemm_acc(ptrdiff_t m, ptrdiff_t n, ptrdiff_t k, double alpha,
+                          const double* a, ptrdiff_t lda, int ta,
+                          const double* b, ptrdiff_t ldb, int tb,
+                          double* c, ptrdiff_t ldc) {
+	for (ptrdiff_t i = 0; i < m; i++) {
+		for (ptrdiff_t j = 0; j < n; j++) {
+			double s = 0;
+			for (ptrdiff_t l = 0; l < k; l++) {
+				double av = ta ? a[l*lda + i] : a[i*lda + l];
+				double bv = tb ? b[j*ldb + l] : b[l*ldb + j];
+				s += av * bv;
+			}
+			c[i*ldc + j] += alpha * s;
+		}
+	}
+}
+
+static void ref_dsyrk_upper_acc(ptrdiff_t m, ptrdiff_t n, double alpha,
+                                const double* a, ptrdiff_t lda,
+                                double* c, ptrdiff_t ldc) {
+	for (ptrdiff_t i = 0; i < n; i++) {
+		for (ptrdiff_t j = i; j < n; j++) {
+			double s = 0;
+			for (ptrdiff_t l = 0; l < m; l++) {
+				s += a[l*lda + i] * a[l*lda + j];
+			}
+			c[i*ldc + j] += alpha * s;
+		}
+	}
+}
+
+static void ref_dtrsm_right_upper(ptrdiff_t m, ptrdiff_t n,
+                                  double* b, ptrdiff_t ldb,
+                                  const double* r, ptrdiff_t ldr) {
+	for (ptrdiff_t i = 0; i < m; i++) {
+		double* x = b + i*ldb;
+		for (ptrdiff_t k = 0; k < n; k++) {
+			double v = x[k] / r[k*ldr + k];
+			x[k] = v;
+			for (ptrdiff_t j = k + 1; j < n; j++) {
+				x[j] -= v * r[k*ldr + j];
+			}
+		}
+	}
+}
+*/
+import "C"
+
+import (
+	"unsafe"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+type cgoBackend struct{}
+
+func (cgoBackend) GramTol() float64 { return 1e-10 }
+
+func (cgoBackend) GemmAcc(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b, c *mat.Dense) {
+	_, _, k := checkGemm(tA, tB, a, b, c)
+	ta, tb := C.int(0), C.int(0)
+	if tA == Trans {
+		ta = 1
+	}
+	if tB == Trans {
+		tb = 1
+	}
+	C.ref_dgemm_acc(C.ptrdiff_t(c.Rows), C.ptrdiff_t(c.Cols), C.ptrdiff_t(k), C.double(alpha),
+		(*C.double)(unsafe.Pointer(&a.Data[0])), C.ptrdiff_t(a.Stride), ta,
+		(*C.double)(unsafe.Pointer(&b.Data[0])), C.ptrdiff_t(b.Stride), tb,
+		(*C.double)(unsafe.Pointer(&c.Data[0])), C.ptrdiff_t(c.Stride))
+}
+
+func (cgoBackend) SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c *mat.Dense) {
+	C.ref_dsyrk_upper_acc(C.ptrdiff_t(a.Rows), C.ptrdiff_t(a.Cols), C.double(alpha),
+		(*C.double)(unsafe.Pointer(&a.Data[0])), C.ptrdiff_t(a.Stride),
+		(*C.double)(unsafe.Pointer(&c.Data[0])), C.ptrdiff_t(c.Stride))
+}
+
+func (cgoBackend) TrsmRightUpper(e *parallel.Engine, b, r *mat.Dense) {
+	C.ref_dtrsm_right_upper(C.ptrdiff_t(b.Rows), C.ptrdiff_t(b.Cols),
+		(*C.double)(unsafe.Pointer(&b.Data[0])), C.ptrdiff_t(b.Stride),
+		(*C.double)(unsafe.Pointer(&r.Data[0])), C.ptrdiff_t(r.Stride))
+}
+
+func (cg cgoBackend) PermTrsmGram(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *mat.Dense) {
+	if perm != nil {
+		// Gather the permutation row by row through a pooled scratch
+		// (mat.PermuteColsInPlace would spawn a parallel closure per call,
+		// breaking the backend's allocation-free contract).
+		n := b.Cols
+		ws := mat.GetWorkspace(1, n, false)
+		tmp := ws.Data
+		for i := 0; i < b.Rows; i++ {
+			row := b.Data[i*b.Stride : i*b.Stride+n]
+			copy(tmp, row)
+			for j, v := range perm {
+				row[j] = tmp[v]
+			}
+		}
+		mat.PutWorkspace(ws)
+	}
+	cg.TrsmRightUpper(e, b, r)
+	cg.SyrkUpperAcc(e, 1, b, g)
+}
+
+func init() { mustRegister("cgoblas", cgoBackend{}) }

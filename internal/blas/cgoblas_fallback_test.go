@@ -1,0 +1,24 @@
+//go:build !cgoblas || !cgo
+
+package blas
+
+import "testing"
+
+// Without the cgoblas tag (or with cgo disabled) the "cgoblas" name must
+// still resolve — served by the native implementation — so backend
+// selection written for tagged builds keeps working everywhere.
+func TestCgoblasFallsBackToNative(t *testing.T) {
+	h, err := Lookup("cgoblas")
+	if err != nil {
+		t.Fatalf("Lookup(cgoblas) in a stub build: %v", err)
+	}
+	if h.Name() != "cgoblas" {
+		t.Fatalf("handle name %q, want cgoblas", h.Name())
+	}
+	if h.Effective() != "native" {
+		t.Fatalf("stub build Effective() = %q, want native", h.Effective())
+	}
+	if h.GramTol() != nativeImpl.GramTol() {
+		t.Fatalf("stub handle GramTol %g, want native's %g", h.GramTol(), nativeImpl.GramTol())
+	}
+}

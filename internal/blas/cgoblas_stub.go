@@ -1,0 +1,11 @@
+//go:build !cgoblas || !cgo
+
+package blas
+
+// Stdlib-only builds (no cgoblas tag, or cgo disabled) still register
+// the "cgoblas" name so backend selection stays portable across builds:
+// the handle resolves to the native implementation and reports
+// Effective() == "native", which is how callers (and the build-tag
+// fallback test) observe that the real binding is absent. This is the
+// crowdsurf gpu.go + ffi_noop no-op-fallback pattern.
+func init() { registerFallback("cgoblas", "native", nativeImpl) }

@@ -1,0 +1,20 @@
+//go:build cgoblas && cgo
+
+package blas
+
+import "testing"
+
+// In a tagged build the "cgoblas" name is served by the real C binding,
+// not the native fallback.
+func TestCgoblasIsReal(t *testing.T) {
+	h, err := Lookup("cgoblas")
+	if err != nil {
+		t.Fatalf("Lookup(cgoblas): %v", err)
+	}
+	if h.Effective() != "cgoblas" {
+		t.Fatalf("tagged build Effective() = %q, want cgoblas", h.Effective())
+	}
+	if _, ok := h.impl.(cgoBackend); !ok {
+		t.Fatalf("tagged build implementation is %T, want cgoBackend", h.impl)
+	}
+}

@@ -93,12 +93,20 @@ func PermTrsmGramFused(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *ma
 	if m == 0 || n == 0 {
 		return
 	}
-	sp := trace.Region(trace.KernelFusedTrsmGram)
+	bk := backendFor(e)
+	sp := trace.BackendRegion(trace.KernelFusedTrsmGram, bk.traceID)
 	defer sp.End()
-	trace.AddFlops(trace.KernelFusedTrsmGram,
+	trace.AddFlopsBackend(trace.KernelFusedTrsmGram, bk.traceID,
 		int64(m)*int64(n)*int64(n)+int64(m)*int64(n)*int64(n+1))
-	trace.AddBytes(trace.KernelFusedTrsmGram, 2*8*int64(m)*int64(n))
+	trace.AddBytesBackend(trace.KernelFusedTrsmGram, bk.traceID, 2*8*int64(m)*int64(n))
+	bk.impl.PermTrsmGram(e, b, perm, r, g)
+	SymmetrizeFromUpper(g)
+}
 
+// PermTrsmGram is the native fused streaming pass: fixed-slot reduction,
+// micro-blocked gather + panel TRSM + register-tiled SYRK.
+func (nativeBackend) PermTrsmGram(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *mat.Dense) {
+	m, n := b.Rows, b.Cols
 	slots := fusedSlots(m)
 	w := e.Workers()
 	if w == 1 || slots == 1 || mulFlops(2, m, n, n) < gemmParallelFlops {
@@ -118,7 +126,6 @@ func PermTrsmGramFused(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *ma
 		}
 		mat.PutWorkspace(tmp)
 		mat.PutWorkspace(acc)
-		SymmetrizeFromUpper(g)
 		return
 	}
 
@@ -146,7 +153,6 @@ func PermTrsmGramFused(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *ma
 		addUpper(g, acc)
 		mat.PutWorkspace(acc)
 	}
-	SymmetrizeFromUpper(g)
 }
 
 // fusedSlotBounds returns the half-open row range of slot si out of slots,

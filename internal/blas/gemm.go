@@ -28,8 +28,10 @@ const (
 )
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C, where op is the identity
-// or transpose as selected by tA and tB. C must not alias A or B. The
-// engine e bounds the parallel width (nil selects the default engine).
+// or transpose as selected by tA and tB. C must not alias A or B.
+// Validation, beta scaling, and trace attribution run here; the
+// accumulation dispatches to the compute backend carried by the engine
+// (nil or unlabeled engines use the native packed kernels).
 func Gemm(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b *mat.Dense, beta float64, c *mat.Dense) {
 	m, n, k := checkGemm(tA, tB, a, b, c)
 	if m == 0 || n == 0 {
@@ -41,9 +43,15 @@ func Gemm(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b *mat.Dense, 
 	if alpha == 0 || k == 0 {
 		return
 	}
-	sp := trace.Region(trace.KernelGemm)
+	bk := backendFor(e)
+	sp := trace.BackendRegion(trace.KernelGemm, bk.traceID)
 	defer sp.End()
-	trace.AddFlops(trace.KernelGemm, 2*int64(m)*int64(n)*int64(k))
+	trace.AddFlopsBackend(trace.KernelGemm, bk.traceID, 2*int64(m)*int64(n)*int64(k))
+	bk.impl.GemmAcc(e, tA, tB, alpha, a, b, c)
+}
+
+// GemmAcc is the native C += alpha·op(A)·op(B) accumulation.
+func (nativeBackend) GemmAcc(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b, c *mat.Dense) {
 	switch {
 	case tA == NoTrans && tB == NoTrans:
 		gemmNN(e, alpha, a, b, c)

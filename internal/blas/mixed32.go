@@ -1,0 +1,230 @@
+package blas
+
+import (
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// mixed32Backend is the mixed-precision backend generalizing the old
+// core.CholQRMixed one-off: the Gram-type accumulations (SYRK and the
+// Gram half of the fused pass) run in float32 — halving the accumulator
+// bandwidth of the most bandwidth-bound kernel — while TRSM and GEMM
+// stay full float64, as does the final merge (alpha is applied in
+// float64 on the fp32 partial sums). The numerical contract follows the
+// mixed-precision CholeskyQR literature: the Gram matrix carries
+// single-precision error, so a CholQR pass on it only succeeds for
+// κ₂(A) ≲ 10³–10⁴; callers accept ~1e-4 relative Gram accuracy in
+// exchange for the bandwidth win (see DESIGN.md §13).
+//
+// Unlike the old gramSingle (which allocated per call and reduced in
+// worker order), the accumulation here uses the same fixed-shape slot
+// reduction as the native fused pass: fusedSlots(m) float32 partials
+// reduced in ascending slot order, so results are bit-identical across
+// engine widths, and the width-1 path is allocation-free after pool
+// warmup.
+type mixed32Backend struct{}
+
+func (mixed32Backend) GramTol() float64 { return 1e-4 }
+
+// GemmAcc and TrsmRightUpper delegate to the native float64 kernels:
+// only the Gram accumulation is precision-reduced.
+func (mixed32Backend) GemmAcc(e *parallel.Engine, tA, tB Transpose, alpha float64, a, b, c *mat.Dense) {
+	nativeImpl.GemmAcc(e, tA, tB, alpha, a, b, c)
+}
+
+func (mixed32Backend) TrsmRightUpper(e *parallel.Engine, b, r *mat.Dense) {
+	nativeImpl.TrsmRightUpper(e, b, r)
+}
+
+func (mixed32Backend) SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c *mat.Dense) {
+	syrk32UpperAcc(e, alpha, a, c)
+}
+
+// PermTrsmGram streams the permute+solve exactly like the native fused
+// pass (float64, micro-blocked, slot-anchored so the solve bits match
+// the native backend's), then accumulates the Gram of the updated B in
+// float32.
+func (mixed32Backend) PermTrsmGram(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r, g *mat.Dense) {
+	permTrsmStream(e, b, perm, r)
+	syrk32UpperAcc(e, 1, b, g)
+}
+
+func init() { mustRegister("mixed32", mixed32Backend{}) }
+
+// permTrsmStream applies B := (B·P)·R⁻¹ in slot-anchored micro-blocks:
+// the native fused pass without its Gram stage. Rows receive identical
+// arithmetic for every engine width because the micro-block grouping is
+// a function of the fixed slot bounds alone.
+func permTrsmStream(e *parallel.Engine, b *mat.Dense, perm mat.Perm, r *mat.Dense) {
+	m, n := b.Rows, b.Cols
+	slots := fusedSlots(m)
+	w := e.Workers()
+	if w == 1 || slots == 1 || mulFlops(m, n, n) < gemmParallelFlops {
+		tmp := mat.GetWorkspace(1, n, false)
+		for si := 0; si < slots; si++ {
+			lo, hi := fusedSlotBounds(m, slots, si)
+			permTrsmRange(b, r, perm, lo, hi, tmp.Data)
+		}
+		mat.PutWorkspace(tmp)
+		return
+	}
+	taskRanges := parallel.Split(slots, w, 1)
+	tasks := make([]func(), len(taskRanges))
+	for ti, tr := range taskRanges {
+		tasks[ti] = func() {
+			tmp := mat.GetWorkspace(1, n, false)
+			for si := tr.Lo; si < tr.Hi; si++ {
+				lo, hi := fusedSlotBounds(m, slots, si)
+				permTrsmRange(b, r, perm, lo, hi, tmp.Data)
+			}
+			mat.PutWorkspace(tmp)
+		}
+	}
+	e.Do(tasks...)
+}
+
+// permTrsmRange gathers the column permutation and solves rows [lo, hi)
+// of B against R one micro-block at a time (tmp is an n-length scratch).
+//
+//repolint:hotpath
+func permTrsmRange(b, r *mat.Dense, perm mat.Perm, lo, hi int, tmp []float64) {
+	n := b.Cols
+	for q := lo; q < hi; q += fusedBlockRows {
+		qhi := q + fusedBlockRows
+		if qhi > hi {
+			qhi = hi
+		}
+		if perm != nil {
+			for i := q; i < qhi; i++ {
+				row := b.Data[i*b.Stride : i*b.Stride+n]
+				copy(tmp, row)
+				for j, v := range perm {
+					row[j] = tmp[v]
+				}
+			}
+		}
+		fusedTrsmRange(b, r, q, qhi)
+	}
+}
+
+// syrk32UpperAcc accumulates upper(C) += alpha·AᵀA with float32 partial
+// sums: fusedSlots(m) fp32 slot accumulators, reduced into the float64 C
+// in ascending slot order with alpha applied in float64 — the same
+// width-invariant reduction shape as the native fused pass.
+func syrk32UpperAcc(e *parallel.Engine, alpha float64, a, c *mat.Dense) {
+	m, n := a.Rows, a.Cols
+	slots := fusedSlots(m)
+	w := e.Workers()
+	if w == 1 || slots == 1 || mulFlops(m, n, n) < gemmParallelFlops {
+		accp := getFloats32(n*n, false)
+		acc := *accp
+		for si := 0; si < slots; si++ {
+			lo, hi := fusedSlotBounds(m, slots, si)
+			for i := range acc {
+				acc[i] = 0
+			}
+			syrk32Range(a, lo, hi, acc)
+			merge32Upper(c, acc, alpha)
+		}
+		putFloats32(accp)
+		return
+	}
+	accs := make([]*[]float32, slots)
+	taskRanges := parallel.Split(slots, w, 1)
+	tasks := make([]func(), len(taskRanges))
+	for ti, tr := range taskRanges {
+		tasks[ti] = func() {
+			for si := tr.Lo; si < tr.Hi; si++ {
+				accp := getFloats32(n*n, true)
+				lo, hi := fusedSlotBounds(m, slots, si)
+				syrk32Range(a, lo, hi, *accp)
+				accs[si] = accp
+			}
+		}
+	}
+	e.Do(tasks...)
+	for _, accp := range accs {
+		merge32Upper(c, *accp, alpha)
+		putFloats32(accp)
+	}
+}
+
+// syrk32Range accumulates the float32 Gram contribution of rows [lo, hi)
+// of A into the n×n row-major upper triangle of acc. Summation rows are
+// consumed in ascending quads anchored at lo, so the fp32 summation
+// order is a function of the slot bounds alone — never the engine width.
+//
+//repolint:hotpath
+func syrk32Range(a *mat.Dense, lo, hi int, acc []float32) {
+	n := a.Cols
+	l := lo
+	for ; l+4 <= hi; l += 4 {
+		r0 := a.Data[l*a.Stride : l*a.Stride+n]
+		r1 := a.Data[(l+1)*a.Stride : (l+1)*a.Stride+n]
+		r2 := a.Data[(l+2)*a.Stride : (l+2)*a.Stride+n]
+		r3 := a.Data[(l+3)*a.Stride : (l+3)*a.Stride+n]
+		for i := 0; i < n; i++ {
+			v0 := float32(r0[i])
+			v1 := float32(r1[i])
+			v2 := float32(r2[i])
+			v3 := float32(r3[i])
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			row := acc[i*n : i*n+n]
+			for j := i; j < n; j++ {
+				row[j] += v0*float32(r0[j]) + v1*float32(r1[j]) +
+					v2*float32(r2[j]) + v3*float32(r3[j])
+			}
+		}
+	}
+	for ; l < hi; l++ {
+		rk := a.Data[l*a.Stride : l*a.Stride+n]
+		for i := 0; i < n; i++ {
+			v := float32(rk[i])
+			if v == 0 {
+				continue
+			}
+			row := acc[i*n : i*n+n]
+			for j := i; j < n; j++ {
+				row[j] += v * float32(rk[j])
+			}
+		}
+	}
+}
+
+// merge32Upper folds one fp32 slot partial into the float64 output:
+// upper(C) += alpha·float64(acc).
+func merge32Upper(c *mat.Dense, acc []float32, alpha float64) {
+	n := c.Cols
+	for i := 0; i < n; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		arow := acc[i*n : i*n+n]
+		for j := i; j < n; j++ {
+			crow[j] += alpha * float64(arow[j])
+		}
+	}
+}
+
+// floats32Pool recycles the fp32 slot accumulators so the width-1 hot
+// path stays allocation-free after warmup (mirrors mat.GetFloats for
+// float64).
+var floats32Pool sync.Pool
+
+func getFloats32(n int, zero bool) *[]float32 {
+	if p, ok := floats32Pool.Get().(*[]float32); ok && cap(*p) >= n {
+		*p = (*p)[:n]
+		if zero {
+			for i := range *p {
+				(*p)[i] = 0
+			}
+		}
+		return p
+	}
+	s := make([]float32, n)
+	return &s
+}
+
+func putFloats32(p *[]float32) { floats32Pool.Put(p) }

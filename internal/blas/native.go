@@ -1,0 +1,34 @@
+package blas
+
+// nativeBackend is the default compute backend: the pure-Go packed,
+// cache-blocked kernels this package has always shipped, unchanged. The
+// dispatchers call its methods for any engine without an explicit
+// backend, so default results are bit-identical to the pre-backend code.
+// Method bodies live next to their kernels (gemm.go, syrk.go, trsm.go,
+// fused.go).
+type nativeBackend struct{}
+
+// GramTol: full float64 accumulation; differences from a reference
+// summation are pure rounding-order noise.
+func (nativeBackend) GramTol() float64 { return 1e-10 }
+
+var nativeImpl = nativeBackend{}
+
+// nativeHandle is the default backend's registry handle, resolved once at
+// init so the per-call dispatch is a nil check plus a type assert.
+var nativeHandle *Handle
+
+func init() {
+	mustRegister("native", nativeImpl)
+	h, err := Lookup("native")
+	if err != nil {
+		panic(err)
+	}
+	nativeHandle = h
+}
+
+// Compile-time interface checks for the built-in backends.
+var (
+	_ Backend = nativeBackend{}
+	_ Backend = mixed32Backend{}
+)

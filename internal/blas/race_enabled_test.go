@@ -1,0 +1,8 @@
+//go:build race
+
+package blas
+
+// raceEnabled reports whether the race detector is active. Allocation
+// tests skip under -race: the instrumented sync.Pool intentionally drops
+// puts at random, so alloc-free invariants cannot be asserted there.
+const raceEnabled = true

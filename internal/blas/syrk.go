@@ -16,11 +16,12 @@ const syrkJBlock = 256
 
 // SyrkUpperTrans computes the upper triangle of C = alpha·AᵀA + beta·C for
 // symmetric C (n×n) and A (m×n). Elements strictly below the diagonal of C
-// are left untouched. The summation over the long dimension m is split
-// across pool workers with pooled private accumulators, exactly mirroring
-// how the distributed algorithm forms local Gram blocks before the
-// Allreduce. The engine e bounds the parallel width (nil selects the
-// default engine).
+// are left untouched. Validation, beta scaling, and trace attribution run
+// here; the accumulation dispatches to the compute backend carried by the
+// engine (nil or unlabeled engines use the native backend, whose
+// summation over the long dimension m is split across pool workers with
+// pooled private accumulators, exactly mirroring how the distributed
+// algorithm forms local Gram blocks before the Allreduce).
 func SyrkUpperTrans(e *parallel.Engine, alpha float64, a *mat.Dense, beta float64, c *mat.Dense) {
 	n := a.Cols
 	if c.Rows != n || c.Cols != n {
@@ -35,9 +36,16 @@ func SyrkUpperTrans(e *parallel.Engine, alpha float64, a *mat.Dense, beta float6
 	if alpha == 0 || a.Rows == 0 || n == 0 {
 		return
 	}
-	sp := trace.Region(trace.KernelSyrk)
+	bk := backendFor(e)
+	sp := trace.BackendRegion(trace.KernelSyrk, bk.traceID)
 	defer sp.End()
-	trace.AddFlops(trace.KernelSyrk, int64(a.Rows)*int64(n)*int64(n+1))
+	trace.AddFlopsBackend(trace.KernelSyrk, bk.traceID, int64(a.Rows)*int64(n)*int64(n+1))
+	bk.impl.SyrkUpperAcc(e, alpha, a, c)
+}
+
+// SyrkUpperAcc is the native upper(C) += alpha·AᵀA accumulation.
+func (nativeBackend) SyrkUpperAcc(e *parallel.Engine, alpha float64, a, c *mat.Dense) {
+	n := a.Cols
 	w := e.Workers()
 	flops := mulFlops(a.Rows, n, n) // ≈ m·n²
 	if flops < gemmParallelFlops || w == 1 {

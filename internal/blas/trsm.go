@@ -32,9 +32,16 @@ func TrsmRightUpperNoTrans(e *parallel.Engine, b, r *mat.Dense) {
 			panic(fmt.Sprintf("blas: TrsmRightUpperNoTrans singular R at diagonal %d", k))
 		}
 	}
-	sp := trace.Region(trace.KernelTrsm)
+	bk := backendFor(e)
+	sp := trace.BackendRegion(trace.KernelTrsm, bk.traceID)
 	defer sp.End()
-	trace.AddFlops(trace.KernelTrsm, int64(b.Rows)*int64(n)*int64(n))
+	trace.AddFlopsBackend(trace.KernelTrsm, bk.traceID, int64(b.Rows)*int64(n)*int64(n))
+	bk.impl.TrsmRightUpper(e, b, r)
+}
+
+// TrsmRightUpper is the native in-place B := B·R⁻¹ solve.
+func (nativeBackend) TrsmRightUpper(e *parallel.Engine, b, r *mat.Dense) {
+	n := b.Cols
 	if mulFlops(b.Rows, n, n) < gemmParallelFlops || e.Workers() == 1 {
 		trsmRightRange(b, r, 0, b.Rows)
 		return

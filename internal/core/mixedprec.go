@@ -15,6 +15,12 @@ import (
 // exploits faster low-precision units on accelerators). The Cholesky
 // factorization and the triangular solve stay in double precision.
 //
+// The fp32 accumulation now lives in the "mixed32" compute backend
+// (internal/blas/mixed32.go): this routine attaches that backend to the
+// engine and runs the standard Gram → Cholesky → TRSM pipeline through
+// the ordinary blas entry points, so the mixed-precision path exercises
+// exactly the dispatch machinery callers reach via Options.Backend.
+//
 // The accuracy consequence is the expected one: the orthogonality of Q is
 // limited by single-precision roundoff, ‖QᵀQ−I‖ ≈ u₃₂·κ₂(A)² with
 // u₃₂ ≈ 6e-8, and breakdown moves in to κ₂(A) ≳ u₃₂^(−1/2) ≈ 4000. The
@@ -24,59 +30,19 @@ func CholQRMixed(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	if m < n {
 		panic(fmt.Sprintf("core: CholQRMixed needs m ≥ n, got %d×%d", m, n))
 	}
-	w := gramSingle(e, a)
-	if err := lapack.PotrfUpper(e, w); err != nil {
+	me, err := blas.AttachBackend(e, "mixed32")
+	if err != nil {
+		return nil, err
+	}
+	w := mat.NewDense(n, n)
+	blas.Gram(me, w, a)
+	if err := lapack.PotrfUpper(me, w); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
 	}
 	lapack.ZeroLower(w)
 	q := a.Clone()
-	// The triangular solve stays in double precision.
-	blas.TrsmRightUpperNoTrans(e, q, w)
+	// The triangular solve stays in double precision (mixed32 delegates
+	// TRSM to the native float64 kernel).
+	blas.TrsmRightUpperNoTrans(me, q, w)
 	return &QR{Q: q, R: w}, nil
-}
-
-// gramSingle computes W = AᵀA with float32 inputs and accumulation,
-// widening only the final result to float64.
-func gramSingle(e *parallel.Engine, a *mat.Dense) *mat.Dense {
-	m, n := a.Rows, a.Cols
-	// Demote A once.
-	a32 := make([]float32, m*n)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*a.Stride : i*a.Stride+n]
-		for j, v := range row {
-			a32[i*n+j] = float32(v)
-		}
-	}
-	acc := make([]float32, n*n)
-	var mu = make(chan struct{}, 1)
-	mu <- struct{}{}
-	e.For(m, 256, func(lo, hi int) {
-		local := make([]float32, n*n)
-		for l := lo; l < hi; l++ {
-			row := a32[l*n : (l+1)*n]
-			for i, vi := range row {
-				if vi == 0 {
-					continue
-				}
-				dst := local[i*n : (i+1)*n]
-				for j := i; j < n; j++ {
-					dst[j] += vi * row[j]
-				}
-			}
-		}
-		<-mu
-		for k, v := range local {
-			acc[k] += v
-		}
-		mu <- struct{}{}
-	})
-	w := mat.NewDense(n, n)
-	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := float64(acc[i*n+j])
-			w.Set(i, j, v)
-			w.Set(j, i, v)
-		}
-	}
-	return w
 }

@@ -13,38 +13,15 @@
 package parallel
 
 import (
-	"runtime"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
 )
 
-// maxWorkers caps the parallel width of the default engine's regions (and
-// the worker-pool size). It defaults to GOMAXPROCS and can be overridden
-// for experiments (e.g. single-threaded baselines) via SetMaxWorkers.
-// Stored atomically so the single-threaded fast path costs one load.
-var maxWorkers atomic.Int64
-
-func init() { maxWorkers.Store(int64(runtime.GOMAXPROCS(0))) }
-
-// SetMaxWorkers bounds the parallel width of the default engine — the nil
-// Engine that package-level For/Do and every kernel called with a nil
-// engine use. It is the compatibility shim for code without an explicit
-// Engine; per-call width bounds should use NewEngine instead, which is
-// race-free under concurrency. n < 1 resets to GOMAXPROCS. It returns the
-// previous value. Safe to call concurrently with running regions:
-// in-flight regions keep the width they started with, and surplus pool
-// workers retire as they go idle.
-func SetMaxWorkers(n int) int {
-	if n < 1 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	return int(maxWorkers.Swap(int64(n)))
-}
-
-// MaxWorkers reports the current parallel width bound.
-func MaxWorkers() int { return int(maxWorkers.Load()) }
+// The process-global SetMaxWorkers/MaxWorkers width knob is gone: width
+// is engine-scoped (NewEngine / Engine.WithWorkers), and the default
+// engine's width is simply GOMAXPROCS. The worker pool sizes itself to
+// GOMAXPROCS-1 (see pool.go).
 
 // Range describes a half-open index interval [Lo, Hi).
 type Range struct {
@@ -95,7 +72,7 @@ func clampParts(n, parts, minChunk int) int {
 }
 
 // For runs body(lo, hi) over a partition of [0, n) on the default engine:
-// up to MaxWorkers ways of parallelism. See Engine.For for the contract.
+// up to GOMAXPROCS ways of parallelism. See Engine.For for the contract.
 func For(n, minChunk int, body func(lo, hi int)) {
 	(*Engine)(nil).For(n, minChunk, body)
 }

@@ -98,21 +98,46 @@ func TestForZero(t *testing.T) {
 	For(0, 1, func(lo, hi int) { t.Fatal("body must not run for n=0") })
 }
 
-func TestSetMaxWorkers(t *testing.T) {
-	prev := SetMaxWorkers(2)
-	defer SetMaxWorkers(prev)
-	if MaxWorkers() != 2 {
-		t.Fatalf("MaxWorkers() = %d, want 2", MaxWorkers())
+func TestEngineWidthBound(t *testing.T) {
+	e := NewEngine(2)
+	if e.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", e.Workers())
 	}
 	var width int32
-	For(1000, 1, func(lo, hi int) {
+	e.For(1000, 1, func(lo, hi int) {
 		atomic.AddInt32(&width, 1)
 	})
 	if width > 2 {
 		t.Fatalf("parallel width %d exceeds bound 2", width)
 	}
-	if SetMaxWorkers(0); MaxWorkers() < 1 {
-		t.Fatal("reset should restore a positive bound")
+	if NewEngine(0).Workers() < 1 {
+		t.Fatal("zero-width engine should resolve to a positive bound")
+	}
+}
+
+func TestEngineBackendHandle(t *testing.T) {
+	type handle struct{ name string }
+	h := &handle{name: "x"}
+	var e *Engine
+	if e.Backend() != nil {
+		t.Fatal("nil engine must report a nil backend")
+	}
+	be := e.WithBackend(h)
+	if be.Backend() != any(h) {
+		t.Fatal("WithBackend did not carry the handle")
+	}
+	// Derivations preserve the handle alongside width and context.
+	if got := be.WithWorkers(3).Backend(); got != any(h) {
+		t.Fatal("WithWorkers dropped the backend handle")
+	}
+	if got := be.WithContext(nil).Backend(); got != any(h) { //nolint:staticcheck
+		t.Fatal("WithContext dropped the backend handle")
+	}
+	if got := be.WithWorkers(3).Workers(); got != 3 {
+		t.Fatalf("WithWorkers width = %d, want 3", got)
+	}
+	if be.WithBackend(nil).Backend() != nil {
+		t.Fatal("WithBackend(nil) must clear the handle")
 	}
 }
 

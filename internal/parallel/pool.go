@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync"
 	"time"
 
@@ -54,12 +55,16 @@ var pool struct {
 	spawned int       // live workers (running or idle)
 }
 
-// acquire pops an idle worker, spawning a new one if the pool is below its
-// limit (MaxWorkers-1: the caller of a parallel region always executes one
-// chunk itself). It returns nil when every permitted worker is busy; the
+// poolLimit is the worker-pool size bound: GOMAXPROCS-1, because the
+// caller of a parallel region always executes one chunk itself. Read per
+// acquire/release so a runtime.GOMAXPROCS resize is honored eventually.
+func poolLimit() int { return runtime.GOMAXPROCS(0) - 1 }
+
+// acquire pops an idle worker, spawning a new one if the pool is below
+// poolLimit. It returns nil when every permitted worker is busy; the
 // caller must then run the chunk inline.
 func acquire() *worker {
-	limit := MaxWorkers() - 1
+	limit := poolLimit()
 	pool.mu.Lock()
 	if n := len(pool.free); n > 0 {
 		w := pool.free[n-1]
@@ -81,9 +86,10 @@ func acquire() *worker {
 }
 
 // release returns a worker to the free list, or retires it (reports false)
-// when SetMaxWorkers has shrunk the pool below the live-worker count.
+// when a runtime.GOMAXPROCS resize has shrunk the pool below the
+// live-worker count.
 func (w *worker) release() bool {
-	limit := MaxWorkers() - 1
+	limit := poolLimit()
 	pool.mu.Lock()
 	defer pool.mu.Unlock()
 	if pool.spawned > limit {

@@ -9,11 +9,11 @@ import (
 )
 
 // TestConcurrentForRegions launches many For regions from independent
-// goroutines at once; every region must still visit each of its indices
-// exactly once even while competing for the shared worker pool.
+// goroutines at once, each on its own narrow engine; every region must
+// still visit each of its indices exactly once even while competing for
+// the shared worker pool.
 func TestConcurrentForRegions(t *testing.T) {
-	prev := SetMaxWorkers(4)
-	defer SetMaxWorkers(prev)
+	e := NewEngine(4)
 	const regions = 16
 	const n = 4097
 	var wg sync.WaitGroup
@@ -22,7 +22,7 @@ func TestConcurrentForRegions(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			var sum atomic.Int64
-			For(n, 1, func(lo, hi int) {
+			e.For(n, 1, func(lo, hi int) {
 				local := int64(0)
 				for i := lo; i < hi; i++ {
 					local += int64(i)
@@ -37,74 +37,63 @@ func TestConcurrentForRegions(t *testing.T) {
 	wg.Wait()
 }
 
-// TestSetMaxWorkersMidFlight resizes the pool repeatedly while For regions
-// are running. Regions must stay correct throughout, and the pool must
-// settle back to at most the final limit once quiescent.
-func TestSetMaxWorkersMidFlight(t *testing.T) {
-	prev := SetMaxWorkers(4)
-	defer SetMaxWorkers(prev)
-	stop := make(chan struct{})
-	var resizer sync.WaitGroup
-	resizer.Add(1)
-	go func() {
-		defer resizer.Done()
-		sizes := []int{1, 8, 2, 6, 3}
-		for i := 0; ; i++ {
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			SetMaxWorkers(sizes[i%len(sizes)])
-			runtime.Gosched()
-		}
-	}()
+// TestMixedWidthEnginesMidFlight runs For regions on engines of churning
+// widths concurrently. Regions must stay correct regardless of which
+// width any competing region uses, because width travels with the engine
+// instead of living in global state.
+func TestMixedWidthEnginesMidFlight(t *testing.T) {
+	sizes := []int{1, 8, 2, 6, 3}
+	engines := make([]*Engine, len(sizes))
+	for i, w := range sizes {
+		engines[i] = NewEngine(w)
+	}
 	const n = 1 << 12
-	for iter := 0; iter < 200; iter++ {
-		var sum atomic.Int64
-		For(n, 1, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				sum.Add(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 50; iter++ {
+				e := engines[(g+iter)%len(engines)]
+				var sum atomic.Int64
+				e.For(n, 1, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum.Add(1)
+					}
+				})
+				if sum.Load() != n {
+					t.Errorf("engine width %d iteration %d: visited %d indices, want %d",
+						e.Workers(), iter, sum.Load(), n)
+					return
+				}
 			}
-		})
-		if sum.Load() != n {
-			t.Fatalf("iteration %d: visited %d indices, want %d", iter, sum.Load(), n)
-		}
+		}(g)
 	}
-	close(stop)
-	resizer.Wait()
-	// Drain: after the churn, a fixed small limit must retire surplus
-	// workers as they pass through release. Retirement happens as workers
-	// finish tasks, so run regions until the count settles.
-	SetMaxWorkers(2)
-	settled := false
-	for i := 0; i < 200 && !settled; i++ {
-		For(1024, 1, func(lo, hi int) {})
-		spawned, _ := poolStats()
-		settled = spawned <= 1
-		runtime.Gosched()
-	}
-	if !settled {
-		spawned, _ := poolStats()
-		t.Fatalf("pool kept %d workers alive with MaxWorkers=2 (limit 1)", spawned)
+	wg.Wait()
+	// The pool never exceeds its fixed bound no matter which engine widths
+	// competed for it.
+	spawned, idle := poolStats()
+	if limit := runtime.GOMAXPROCS(0) - 1; spawned > limit {
+		t.Fatalf("pool spawned %d workers, limit %d", spawned, limit)
+	} else if idle > spawned {
+		t.Fatalf("idle %d > spawned %d", idle, spawned)
 	}
 }
 
 // TestNestedParallelismNoDeadlock exercises For inside Do inside For with
-// a pool far smaller than the nesting demands; the inline-fallback rule
-// must keep everything progressing.
+// an engine far narrower than the nesting demands; the inline-fallback
+// rule must keep everything progressing.
 func TestNestedParallelismNoDeadlock(t *testing.T) {
-	prev := SetMaxWorkers(3)
-	defer SetMaxWorkers(prev)
+	e := NewEngine(3)
 	var total atomic.Int64
-	For(8, 1, func(lo, hi int) {
+	e.For(8, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			Do(
+			e.Do(
 				func() {
-					For(100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+					e.For(100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
 				},
 				func() {
-					For(100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+					e.For(100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
 				},
 			)
 		}
@@ -118,8 +107,7 @@ func TestNestedParallelismNoDeadlock(t *testing.T) {
 // control even when the pool is exhausted: tasks that must rendezvous with
 // each other complete instead of deadlocking.
 func TestDoTasksTrulyConcurrent(t *testing.T) {
-	prev := SetMaxWorkers(2) // pool limit 1, but 4 tasks must all run
-	defer SetMaxWorkers(prev)
+	e := NewEngine(2) // far fewer slots than tasks, but 4 tasks must all run
 	const tasks = 4
 	var barrier sync.WaitGroup
 	barrier.Add(tasks)
@@ -132,7 +120,7 @@ func TestDoTasksTrulyConcurrent(t *testing.T) {
 	}
 	done := make(chan struct{})
 	go func() {
-		Do(fns...)
+		e.Do(fns...)
 		close(done)
 	}()
 	<-done
@@ -142,14 +130,12 @@ func TestDoTasksTrulyConcurrent(t *testing.T) {
 // workers rather than fresh spawns: the live-worker count stays bounded by
 // the pool limit across many regions.
 func TestWorkerReuse(t *testing.T) {
-	prev := SetMaxWorkers(4)
-	defer SetMaxWorkers(prev)
 	for i := 0; i < 100; i++ {
 		For(1<<12, 1, func(lo, hi int) {})
 	}
 	spawned, idle := poolStats()
-	if spawned > 3 {
-		t.Fatalf("spawned %d workers, want ≤ 3 (MaxWorkers-1)", spawned)
+	if limit := runtime.GOMAXPROCS(0) - 1; spawned > limit {
+		t.Fatalf("spawned %d workers, want ≤ %d (GOMAXPROCS-1)", spawned, limit)
 	}
 	if idle > spawned {
 		t.Fatalf("idle %d > spawned %d", idle, spawned)

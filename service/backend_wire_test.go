@@ -1,0 +1,167 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	tsqrcp "repro"
+	"repro/testmat"
+)
+
+// flagsOffset locates the flags byte inside a job payload (after the
+// type byte): id(8) + tenant length(2) + tenant + timeout(8) +
+// strategy(1).
+func flagsOffset(tenant string) int { return 8 + 2 + len(tenant) + 8 + 1 }
+
+func TestJobRoundTripBackend(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := &jobRequest{
+		ID:      3,
+		Tenant:  "team-b",
+		Backend: "mixed32",
+		A:       randMat(rng, 30, 6),
+	}
+	payload := encodeJob(in)
+	if payload[1+flagsOffset(in.Tenant)]&flagHasBackend == 0 {
+		t.Fatal("encodeJob did not set flagHasBackend for a backend-carrying job")
+	}
+	out, err := decodeJob(payload[1:], testLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "mixed32" {
+		t.Fatalf("Backend = %q after round trip, want %q", out.Backend, "mixed32")
+	}
+	if got := out.options().Backend; got != "mixed32" {
+		t.Fatalf("options().Backend = %q, want %q", got, "mixed32")
+	}
+	if !sameBits(out.A, in.A) {
+		t.Fatal("matrix not bit-identical after round trip")
+	}
+
+	// A backend-less job must not grow: its frame is byte-identical to the
+	// pre-extension encoding and decodes with Backend == "".
+	plain := encodeJob(&jobRequest{ID: 3, Tenant: "team-b", A: in.A})
+	if payload[1+flagsOffset(in.Tenant)] == plain[1+flagsOffset(in.Tenant)] {
+		t.Fatal("flags byte identical with and without a backend")
+	}
+	if len(plain) != len(payload)-2-len("mixed32") {
+		t.Fatalf("backend-less frame is %d bytes, want %d", len(plain), len(payload)-2-len("mixed32"))
+	}
+	out, err = decodeJob(plain[1:], testLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "" {
+		t.Fatalf("Backend = %q for a backend-less frame, want empty", out.Backend)
+	}
+}
+
+// TestJobBackendVersionGate simulates an old server decoding a new
+// frame: without flagHasBackend the decoder stops at the matrix data,
+// so the appended backend bytes must surface as a clean trailing-bytes
+// error, not a misparse.
+func TestJobBackendVersionGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	j := &jobRequest{ID: 4, Tenant: "t", Backend: "native", A: randMat(rng, 10, 4)}
+	payload := encodeJob(j)[1:]
+	payload[flagsOffset(j.Tenant)] &^= flagHasBackend
+	_, err := decodeJob(payload, testLimits())
+	if err == nil {
+		t.Fatal("flag-less decoder accepted a frame with backend bytes appended")
+	}
+	if !strings.Contains(err.Error(), "trailing bytes") {
+		t.Fatalf("err = %v, want a trailing-bytes rejection", err)
+	}
+}
+
+func TestDecodeJobBackendRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMat(rng, 10, 4)
+	// Over-long backend name.
+	long := strings.Repeat("x", MaxBackendLen+1)
+	if _, err := decodeJob(encodeJob(&jobRequest{A: a, Backend: long})[1:], testLimits()); err == nil {
+		t.Error("decode accepted a backend name over MaxBackendLen")
+	}
+	// Flag set but no backend field at all.
+	j := &jobRequest{Tenant: "t", A: a}
+	payload := encodeJob(j)[1:]
+	payload[flagsOffset(j.Tenant)] |= flagHasBackend
+	if _, err := decodeJob(payload, testLimits()); err == nil {
+		t.Error("decode accepted flagHasBackend with no backend field")
+	}
+}
+
+func TestUnknownBackendStatusDistinct(t *testing.T) {
+	out, err := decodeResult(encodeResult(&jobResult{ID: 1, Status: StatusUnknownBackend, Msg: "no such backend"})[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := statusErr(out.Status, out.Msg)
+	if !errors.Is(got, ErrUnknownBackend) {
+		t.Fatalf("status mapped to %v, want errors.Is ErrUnknownBackend", got)
+	}
+	for _, other := range []error{ErrInvalid, ErrFailed, ErrOverloaded} {
+		if errors.Is(got, other) {
+			t.Fatalf("unknown-backend rejection %v conflates with %v", got, other)
+		}
+	}
+	if StatusUnknownBackend.String() != "unknown backend" {
+		t.Fatalf("String() = %q", StatusUnknownBackend.String())
+	}
+}
+
+// TestServedBackendSelection is the in-package e2e for the backend
+// extension: a "native" job is bit-identical to the default path, a
+// "mixed32" job is served through the fp32-Gram backend, and an
+// unregistered name is rejected at admission with the distinct status.
+func TestServedBackendSelection(t *testing.T) {
+	srv := startServer(t, Config{BatchSize: 4, FlushInterval: time.Millisecond})
+	c := dialServer(t, srv)
+	rng := rand.New(rand.NewSource(14))
+
+	a := testmat.Generate(rng, 800, 16, 12, 1e-8)
+	want, err := tsqrcp.QRCP(a, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Factor(context.Background(), Request{
+		Tenant: "bk", A: a, Options: &tsqrcp.Options{Backend: "native"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factsEqual(t, got, want, "native backend")
+
+	// mixed32 end to end, on a well-conditioned matrix (fp32 Gram breaks
+	// down for κ₂ ≳ 10³–10⁴) — must match the in-process mixed32 result.
+	wc := testmat.Generate(rng, 600, 12, 12, 1e-2)
+	opts := &tsqrcp.Options{Backend: "mixed32"}
+	want, err = tsqrcp.QRCP(wc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = c.Factor(context.Background(), Request{Tenant: "bk", A: wc, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factsEqual(t, got, want, "mixed32 backend")
+
+	// Unknown backend: distinct rejection, and the job never costs an
+	// admission slot.
+	before := srv.Stats().Accepted
+	_, err = c.Factor(context.Background(), Request{
+		Tenant: "bk", A: a, Options: &tsqrcp.Options{Backend: "no-such-backend"}})
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("unknown backend job returned %v, want ErrUnknownBackend", err)
+	}
+	if !strings.Contains(err.Error(), "no-such-backend") {
+		t.Fatalf("rejection %v does not name the backend", err)
+	}
+	if after := srv.Stats().Accepted; after != before {
+		t.Fatalf("unknown-backend job consumed an admission slot (accepted %d → %d)", before, after)
+	}
+}

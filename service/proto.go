@@ -29,6 +29,8 @@ import (
 //	float64  pivot tolerance (0 = DefaultPivotTol)
 //	uint32   m, uint32 n (tall-skinny: m ≥ n ≥ 1)
 //	m·n·8    row-major float64 matrix data
+//	uint16   backend length, then backend bytes
+//	         (present only when flags has flagHasBackend set)
 //
 // and a result body is
 //
@@ -41,6 +43,15 @@ import (
 // The deadline travels as a relative duration, not an absolute
 // timestamp, so client and server clocks need not agree; the server
 // anchors it to the moment the frame is decoded.
+//
+// The backend field is the protocol's first optional extension and
+// doubles as its version gate. A new client talking to an old server
+// only diverges when it actually sets a backend: the old decoder stops
+// at the matrix data and reports the extension bytes as a clean
+// "trailing bytes" StatusInvalid rejection instead of misparsing them.
+// A new server rejects a backend name it does not have registered with
+// the distinct StatusUnknownBackend, so callers can tell "server too
+// old / backend not compiled in" from a malformed job.
 
 const (
 	msgJob         = 1
@@ -49,11 +60,19 @@ const (
 	msgStatsResult = 4
 )
 
-// flagZeroTol selects the ε = 0 P-Chol-CP variant (Options.ZeroTol).
-const flagZeroTol = 1 << 0
+const (
+	// flagZeroTol selects the ε = 0 P-Chol-CP variant (Options.ZeroTol).
+	flagZeroTol = 1 << 0
+	// flagHasBackend marks a job frame that carries the optional backend
+	// field after the matrix data (Options.Backend).
+	flagHasBackend = 1 << 1
+)
 
 // MaxTenantLen bounds the tenant identifier.
 const MaxTenantLen = 128
+
+// MaxBackendLen bounds the backend name in a job frame.
+const MaxBackendLen = 64
 
 // DefaultMaxFrameBytes bounds a single frame (1 GiB fits an
 // m=2²⁴ × n=8 job or an m=2²¹ × n=64 response).
@@ -81,6 +100,11 @@ const (
 	StatusFailed
 	// StatusShuttingDown: the server is draining and admits no new jobs.
 	StatusShuttingDown
+	// StatusUnknownBackend: the job named a compute backend the server
+	// does not have registered. Distinct from StatusInvalid so callers
+	// can fall back to the default backend instead of treating the job
+	// as malformed.
+	StatusUnknownBackend
 )
 
 func (s Status) String() string {
@@ -97,6 +121,8 @@ func (s Status) String() string {
 		return "factorization failed"
 	case StatusShuttingDown:
 		return "shutting down"
+	case StatusUnknownBackend:
+		return "unknown backend"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -110,6 +136,9 @@ var (
 	ErrInvalid          = errors.New("service: invalid job")
 	ErrFailed           = errors.New("service: factorization failed")
 	ErrShuttingDown     = errors.New("service: server shutting down")
+	// ErrUnknownBackend reports a job that named a compute backend the
+	// server does not have registered (StatusUnknownBackend).
+	ErrUnknownBackend = errors.New("service: unknown compute backend")
 	// ErrServerClosed is returned by Serve after a graceful Shutdown.
 	ErrServerClosed = errors.New("service: server closed")
 )
@@ -128,6 +157,8 @@ func statusErr(st Status, msg string) error {
 		base = ErrFailed
 	case StatusShuttingDown:
 		base = ErrShuttingDown
+	case StatusUnknownBackend:
+		base = ErrUnknownBackend
 	default:
 		return fmt.Errorf("service: unknown status %d: %s", st, msg)
 	}
@@ -146,6 +177,7 @@ type jobRequest struct {
 	ZeroTol  bool
 	Seed     uint64
 	PivotTol float64
+	Backend  string // optional compute backend; "" = server default
 	A        *mat.Dense
 }
 
@@ -156,6 +188,7 @@ func (j *jobRequest) options() *tsqrcp.Options {
 		ZeroTol:  j.ZeroTol,
 		Strategy: j.Strategy,
 		Seed:     j.Seed,
+		Backend:  j.Backend,
 	}
 }
 
@@ -308,7 +341,7 @@ func (d *reader) rest() error {
 // encodeJob serializes a job frame payload.
 func encodeJob(j *jobRequest) []byte {
 	m, n := j.A.Rows, j.A.Cols
-	buf := make([]byte, 0, 1+8+2+len(j.Tenant)+8+1+1+8+8+4+4+m*n*8)
+	buf := make([]byte, 0, 1+8+2+len(j.Tenant)+8+1+1+8+8+4+4+m*n*8+2+len(j.Backend))
 	buf = append(buf, msgJob)
 	buf = binary.LittleEndian.AppendUint64(buf, j.ID)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(j.Tenant)))
@@ -319,12 +352,22 @@ func encodeJob(j *jobRequest) []byte {
 	if j.ZeroTol {
 		flags |= flagZeroTol
 	}
+	if j.Backend != "" {
+		flags |= flagHasBackend
+	}
 	buf = append(buf, flags)
 	buf = binary.LittleEndian.AppendUint64(buf, j.Seed)
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(j.PivotTol))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
-	return appendDense(buf, j.A)
+	buf = appendDense(buf, j.A)
+	if j.Backend != "" {
+		// Optional extension field, deliberately last: an old server that
+		// predates it fails cleanly on the trailing bytes.
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(j.Backend)))
+		buf = append(buf, j.Backend...)
+	}
+	return buf
 }
 
 // decodeJob parses a job payload (after the type byte) and validates it
@@ -363,6 +406,12 @@ func decodeJob(payload []byte, lim Limits) (*jobRequest, error) {
 		return nil, fmt.Errorf("service: shape %dx%d exceeds server limits %dx%d", m, n, lim.MaxRows, lim.MaxCols)
 	}
 	j.A = d.dense(m, n)
+	if flags&flagHasBackend != 0 {
+		j.Backend = d.str(MaxBackendLen)
+		if d.err == nil && j.Backend == "" {
+			return nil, errors.New("service: backend flag set but backend name empty")
+		}
+	}
 	if err := d.rest(); err != nil {
 		return nil, err
 	}

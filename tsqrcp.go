@@ -3,6 +3,7 @@ package tsqrcp
 import (
 	"math"
 
+	"repro/internal/blas"
 	"repro/internal/core"
 	"repro/mat"
 )
@@ -73,6 +74,17 @@ type Options struct {
 	// bit-identical across engine widths and Workers settings. Ignored by
 	// deterministic strategies.
 	Seed uint64
+	// Backend selects the compute backend the call's hot dense kernels
+	// (Gram/SYRK, GEMM, TRSM, and the fused permute→TRSM→Gram pass)
+	// dispatch through. The zero value selects the default pure-Go
+	// "native" backend; RegisteredBackends lists what else this build
+	// offers — "mixed32" accumulates Gram matrices in float32 (fast,
+	// but only accurate for κ₂(A) ≲ 10³–10⁴), and "cgoblas" is a C
+	// binding that silently serves the native kernels in builds without
+	// the cgoblas build tag. An unregistered name is an error (or a
+	// panic from HouseholderQRCP, which predates this field and has no
+	// error return).
+	Backend string
 }
 
 func (o *Options) strategy() Strategy {
@@ -88,6 +100,13 @@ func (o *Options) seed() uint64 {
 	}
 	return o.Seed
 }
+
+// RegisteredBackends returns the sorted names of the compute backends
+// this build can dispatch to via Options.Backend. Always includes
+// "native" (the pure-Go default), "mixed32" (float32 Gram
+// accumulation), and "cgoblas" (the C binding when built with the
+// cgoblas tag, otherwise an alias for native).
+func RegisteredBackends() []string { return blas.Backends() }
 
 func (o *Options) tol() float64 {
 	if o == nil {
@@ -209,59 +228,45 @@ type QR struct {
 // CholeskyQR computes the thin QR factorization by a single Cholesky pass
 // (Algorithm 2). Fastest, but Q loses orthogonality like u·κ₂(A)² and the
 // algorithm fails for κ₂(A) ≳ 10⁸.
+//
+// Equivalent to DefaultEngine().CholeskyQR(a), as are all the one-shot
+// helpers below: each delegates to its Engine method, so an explicit
+// Engine adds cancellation or a width bound without changing results.
 func CholeskyQR(a *mat.Dense) (*QR, error) {
-	qr, err := core.CholQR(nil, a)
-	if err != nil {
-		return nil, err
-	}
-	return &QR{Q: qr.Q, R: qr.R}, nil
+	return DefaultEngine().CholeskyQR(a)
 }
 
 // CholeskyQR2 computes the thin QR factorization with one
 // reorthogonalization pass; Householder-level accuracy for κ₂(A) ≲ 10⁸.
 func CholeskyQR2(a *mat.Dense) (*QR, error) {
-	qr, err := core.CholQR2(nil, a)
-	if err != nil {
-		return nil, err
-	}
-	return &QR{Q: qr.Q, R: qr.R}, nil
+	return DefaultEngine().CholeskyQR2(a)
 }
 
 // ShiftedCholeskyQR3 computes the thin QR factorization of arbitrarily
 // ill-conditioned matrices (κ₂(A) up to ~10¹⁶) via a shifted
 // preconditioning pass followed by CholeskyQR2.
 func ShiftedCholeskyQR3(a *mat.Dense) (*QR, error) {
-	qr, err := core.ShiftedCholQR3(nil, a)
-	if err != nil {
-		return nil, err
-	}
-	return &QR{Q: qr.Q, R: qr.R}, nil
+	return DefaultEngine().ShiftedCholeskyQR3(a)
 }
 
 // HouseholderQR computes the thin QR factorization by blocked Householder
 // reflections — the unconditionally stable reference.
 func HouseholderQR(a *mat.Dense) *QR {
-	qr := core.HouseholderQR(nil, a)
-	return &QR{Q: qr.Q, R: qr.R}
+	return DefaultEngine().HouseholderQR(a)
 }
 
 // TSQR computes the thin QR factorization by the communication-avoiding
 // Householder reduction tree (Demmel et al.) — unconditionally stable
 // like HouseholderQR, with CholeskyQR-like O(1) collective structure.
 func TSQR(a *mat.Dense) *QR {
-	qr := core.TSQR(nil, a)
-	return &QR{Q: qr.Q, R: qr.R}
+	return DefaultEngine().TSQR(a)
 }
 
 // LUCholeskyQR2 computes the thin QR factorization by LU-Cholesky QR
 // (Terao–Ozaki–Ogita): an LU factorization with partial pivoting
 // preconditions the matrix so Cholesky QR succeeds for any κ₂(A).
 func LUCholeskyQR2(a *mat.Dense) (*QR, error) {
-	qr, err := core.LUCholQR2(nil, a)
-	if err != nil {
-		return nil, err
-	}
-	return &QR{Q: qr.Q, R: qr.R}, nil
+	return DefaultEngine().LUCholeskyQR2(a)
 }
 
 // StrongRRQR computes a strong rank-revealing QR factorization at rank k
