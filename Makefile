@@ -4,7 +4,8 @@ GO ?= go
 COVER_MIN ?= 70
 BENCH_TOLERANCE ?= 0.25
 
-.PHONY: all ci build lint fmt-check vet repolint test test-debug test-cgoblas \
+.PHONY: all ci build lint fmt-check vet repolint escapecheck \
+	lint-fix-baseline test test-debug test-cgoblas \
 	race bench bench-json bench-smoke cover cover-gate repro repro-paper \
 	examples clean
 
@@ -17,8 +18,9 @@ all: build vet test
 # loosens via BENCH_TOLERANCE).
 ci: lint build test test-debug test-cgoblas race cover-gate bench-smoke
 
-# Formatting, go vet, and the repo-specific static analyzer (DESIGN.md §7).
-lint: fmt-check vet repolint
+# Formatting, go vet, the repo-specific static analyzer, and the
+# compiler escape gate (DESIGN.md §7).
+lint: fmt-check vet repolint escapecheck
 
 build:
 	$(GO) build ./...
@@ -33,11 +35,26 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants (workspace/span balance, engine threading,
-# float equality, rand hygiene, hot-path purity). Diagnostics print as
+# float equality, rand hygiene, hot-path purity, slot-reduction
+# determinism, wire bounds, cancellation). Diagnostics print as
 # file:line:col: message [check]; suppress a finding with
-# //repolint:allow <check> — reason. See DESIGN.md §7.
+# //repolint:allow <check> — reason. Runs three build configurations so
+# the debugchecks assertion files and the cgo BLAS shim are analyzed
+# too. See DESIGN.md §7.
 repolint:
 	$(GO) run ./cmd/repolint ./...
+	$(GO) run ./cmd/repolint -tags debugchecks ./...
+	$(GO) run ./cmd/repolint -tags cgoblas,cgo ./...
+
+# Compiler escape gate: //repolint:hotpath functions must not gain heap
+# escapes beyond the checked-in baseline (cmd/escapecheck/baseline.txt).
+escapecheck:
+	$(GO) run ./cmd/escapecheck
+
+# Regenerate the escape baseline after deliberately accepting a new
+# escape; review the baseline diff in the PR like any other change.
+lint-fix-baseline:
+	$(GO) run ./cmd/escapecheck -update
 
 test:
 	$(GO) test ./...

@@ -90,6 +90,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench-service:", err)
 			os.Exit(1)
 		}
+		//repolint:allow ctxcancel — benchmark harness; the deferred Shutdown closes the listener and ends Serve
 		go srv.Serve(ln)
 		defer func() {
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -43,6 +43,9 @@ func checkBackendCall(p *Pass) {
 	for _, file := range p.Pkg.TestFiles {
 		checkBackendCallSyntactic(p, file)
 	}
+	for _, file := range p.Pkg.CgoFiles {
+		checkBackendCallSyntactic(p, file)
+	}
 }
 
 // backendInterface resolves the type-checked blas.Backend interface, or

@@ -1,0 +1,588 @@
+package main
+
+// detreduce makes the width-determinism contract of DESIGN.md §10 a
+// compile-time property: in the kernel packages (internal/blas,
+// internal/core, internal/sketch), a parallel worker — a function
+// literal handed to Engine.For or Engine.Do — must never accumulate into
+// shared float state directly. Cross-worker reductions have to flow
+// through fixed-shape slot buffers (the fusedSlots/slots(m) pattern):
+// each worker fills accumulators it owns, and a sequential pass merges
+// them in ascending slot order. A `g.Data[j] += …` inside a worker makes
+// the summation order a function of the engine width and scheduling,
+// breaking bit-identical results across widths.
+//
+// The analysis is a per-worker dataflow classification:
+//
+//   - range-derived: the worker's own (lo, hi) parameters, the loop
+//     variables of the task-construction loop enclosing the literal, and
+//     everything computed from them. A store indexed by a range-derived
+//     value touches a worker-disjoint region and is fine.
+//   - shared: variables captured from the enclosing function (and, one
+//     call level down, parameters bound to captured values) plus
+//     package-level state.
+//   - private: locals of the worker (pooled accumulators, scratch),
+//     including locals sliced out of shared containers at a
+//     range-derived offset.
+//
+// A store is flagged when its element type is floating point, its base
+// resolves to shared state, and no index on the access path is
+// range-derived. The check follows one level of same-package calls so
+// helpers like addUpper cannot hide a shared-state reduction.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// detReducePkgs are the module-relative package prefixes the
+// determinism contract applies to.
+var detReducePkgs = []string{"internal/blas", "internal/core", "internal/sketch"}
+
+func checkDetReduce(p *Pass) {
+	if !p.pathUnder(detReducePkgs...) {
+		return
+	}
+	parallelPath := p.Mod.Path + "/internal/parallel"
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, w := range collectWorkers(p, fd, parallelPath) {
+				scanWorker(p, file, w, parallelPath)
+			}
+		}
+	}
+}
+
+// reduceWorker is one parallel worker: the literal plus the objects that
+// parameterize which slice of the iteration space it owns.
+type reduceWorker struct {
+	lit   *ast.FuncLit
+	seeds []types.Object
+}
+
+// collectWorkers finds every function literal fd hands to Engine.For or
+// Engine.Do, directly or through a local variable / task slice.
+func collectWorkers(p *Pass, fd *ast.FuncDecl, parallelPath string) []reduceWorker {
+	var workers []reduceWorker
+	add := func(lit *ast.FuncLit) {
+		if lit == nil {
+			return
+		}
+		workers = append(workers, reduceWorker{lit: lit, seeds: enclosingLoopVars(p.Pkg.Info, fd.Body, lit.Pos())})
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch engineMethodName(p.Pkg.Info, call, parallelPath) {
+		case "For":
+			if len(call.Args) > 0 {
+				for _, lit := range resolveWorkerLits(p, fd, call.Args[len(call.Args)-1]) {
+					add(lit)
+				}
+			}
+		case "Do":
+			for _, arg := range call.Args {
+				for _, lit := range resolveWorkerLits(p, fd, arg) {
+					add(lit)
+				}
+			}
+		}
+		return true
+	})
+	return workers
+}
+
+// engineMethodName returns the method name when call invokes a method on
+// *parallel.Engine, else "".
+func engineMethodName(info *types.Info, call *ast.CallExpr, parallelPath string) string {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if path, name := namedPath(sig.Recv().Type()); path == parallelPath && name == "Engine" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// resolveWorkerLits resolves a For/Do argument to the function literals
+// it can denote: the literal itself, or — for a local identifier — every
+// literal assigned to it (including element assignments into a task
+// slice and appends) within fd.
+func resolveWorkerLits(p *Pass, fd *ast.FuncDecl, arg ast.Expr) []*ast.FuncLit {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return []*ast.FuncLit{e}
+	case *ast.Ident:
+		obj := p.Pkg.Info.ObjectOf(e)
+		if obj == nil {
+			return nil
+		}
+		var lits []*ast.FuncLit
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if i >= len(st.Rhs) || rootObjOf(p.Pkg.Info, lhs) != obj {
+						continue
+					}
+					switch rhs := ast.Unparen(st.Rhs[i]).(type) {
+					case *ast.FuncLit:
+						lits = append(lits, rhs)
+					case *ast.CallExpr:
+						// tasks = append(tasks, func(){…})
+						if id, ok := ast.Unparen(rhs.Fun).(*ast.Ident); ok && id.Name == "append" {
+							for _, a := range rhs.Args[1:] {
+								if l, ok := a.(*ast.FuncLit); ok {
+									lits = append(lits, l)
+								}
+							}
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range st.Names {
+					if i < len(st.Values) && p.Pkg.Info.ObjectOf(name) == obj {
+						if lit, ok := st.Values[i].(*ast.FuncLit); ok {
+							lits = append(lits, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+		return lits
+	}
+	return nil
+}
+
+// rootObjOf unwraps index/slice/selector/star/paren chains and returns
+// the object of the root identifier, or nil.
+func rootObjOf(info *types.Info, e ast.Expr) types.Object {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// rootIdent unwraps an lvalue chain to its root identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingLoopVars collects the iteration variables of every for/range
+// statement in body whose body contains pos — the task-construction
+// loop variables (ti, tr) that make per-task state worker-disjoint.
+// Go 1.22 per-iteration loop variables mean each literal captures its
+// own copy, so the loop vars identify the worker's slice of the space.
+func enclosingLoopVars(info *types.Info, body *ast.BlockStmt, pos token.Pos) []types.Object {
+	var out []types.Object
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.ObjectOf(id); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st.Tok == token.DEFINE && st.Body.Pos() <= pos && pos < st.Body.End() {
+				addIdent(st.Key)
+				if st.Value != nil {
+					addIdent(st.Value)
+				}
+			}
+		case *ast.ForStmt:
+			if st.Body.Pos() <= pos && pos < st.Body.End() {
+				if init, ok := st.Init.(*ast.AssignStmt); ok && init.Tok == token.DEFINE {
+					for _, lhs := range init.Lhs {
+						addIdent(lhs)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// reduceScan is the classification state for one body (a worker literal
+// or a followed callee).
+type reduceScan struct {
+	p    *Pass
+	file *ast.File // caller's file, for reporting and suppression
+	info *types.Info
+
+	lo, hi token.Pos // extent of the scanned declaration (locals test)
+
+	derived map[types.Object]bool // range-derived values
+	shared  map[types.Object]bool // explicitly shared-bound (callee params)
+	aliased map[types.Object]bool // locals aliasing shared state, no derived offset
+
+	// report emits a finding for a store into shared state at pos.
+	report func(pos token.Pos, root string)
+	// follow enables one level of same-package call following.
+	follow bool
+}
+
+// scanWorker classifies and scans one worker literal.
+func scanWorker(p *Pass, file *ast.File, w reduceWorker, parallelPath string) {
+	s := &reduceScan{
+		p:       p,
+		file:    file,
+		info:    p.Pkg.Info,
+		lo:      w.lit.Pos(),
+		hi:      w.lit.End(),
+		derived: make(map[types.Object]bool),
+		shared:  make(map[types.Object]bool),
+		aliased: make(map[types.Object]bool),
+		follow:  true,
+	}
+	for _, obj := range w.seeds {
+		s.derived[obj] = true
+	}
+	// The literal's own parameters are the range handed to it (lo, hi).
+	for _, field := range w.lit.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := p.Pkg.Info.ObjectOf(name); obj != nil {
+				s.derived[obj] = true
+			}
+		}
+	}
+	s.report = func(pos token.Pos, root string) {
+		p.reportf(file, pos, "parallel worker accumulates into shared %s without a range-derived index; cross-worker reductions must go through fixed-shape slot buffers (the fusedSlots pattern, DESIGN.md §10)", root)
+	}
+	s.scan(w.lit.Body, parallelPath)
+}
+
+// isLocal reports whether obj is declared within the scanned extent.
+func (s *reduceScan) isLocal(obj types.Object) bool {
+	return obj != nil && obj.Pos() >= s.lo && obj.Pos() < s.hi
+}
+
+// isShared reports whether obj roots shared mutable state: a captured or
+// package-level variable, a shared-bound parameter, or a local aliasing
+// one without a range-derived offset.
+func (s *reduceScan) isShared(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if s.aliased[obj] || s.shared[obj] {
+		return true
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return !s.isLocal(obj) && !s.derived[obj]
+}
+
+// usesDerived reports whether any identifier under e is range-derived.
+func (s *reduceScan) usesDerived(e ast.Node) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := s.info.ObjectOf(id); obj != nil && s.derived[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// aliasesShared reports whether evaluating e yields a view of shared
+// state reachable without a range-derived offset: a direct reference to
+// a shared container, or an index/slice of one whose indices are not
+// range-derived. Only meaningful when the result type can alias (slice,
+// pointer, struct holding one) — value copies of basics are private.
+func (s *reduceScan) aliasesShared(e ast.Expr) bool {
+	found := false
+	var walk func(n ast.Expr)
+	walk = func(n ast.Expr) {
+		if found || n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if obj := s.info.ObjectOf(x); obj != nil && s.isShared(obj) && refType(s.info.TypeOf(x)) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			walk(x.X)
+		case *ast.ParenExpr:
+			walk(x.X)
+		case *ast.StarExpr:
+			walk(x.X)
+		case *ast.IndexExpr:
+			if !s.usesDerived(x.Index) {
+				walk(x.X)
+			}
+		case *ast.SliceExpr:
+			derivedBound := (x.Low != nil && s.usesDerived(x.Low)) ||
+				(x.High != nil && s.usesDerived(x.High)) ||
+				(x.Max != nil && s.usesDerived(x.Max))
+			if !derivedBound {
+				walk(x.X)
+			}
+		case *ast.UnaryExpr:
+			walk(x.X)
+		case *ast.CallExpr:
+			// A call result is a fresh value unless it returns a view of
+			// a shared argument; passing shared args through calls in a
+			// classification RHS is treated as fresh (the follow pass
+			// catches stores inside the callee).
+		}
+	}
+	walk(e)
+	return found
+}
+
+// refType reports whether t can alias underlying storage: slices,
+// pointers, and structs/named types containing them (mat.Dense holds its
+// Data slice by value).
+func refType(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Pointer, *types.Map, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refType(u.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// floatType reports whether t is float32 or float64.
+func floatType(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// scan walks one body: classifies locals as it goes (source order) and
+// flags float stores whose base is shared with no range-derived index.
+func (s *reduceScan) scan(body ast.Node, parallelPath string) {
+	reportedCalls := make(map[token.Pos]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			switch st.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for i, lhs := range st.Lhs {
+					var rhs ast.Expr
+					if len(st.Rhs) == len(st.Lhs) {
+						rhs = st.Rhs[i]
+					} else if len(st.Rhs) == 1 {
+						rhs = st.Rhs[0]
+					}
+					s.classifyOrCheck(lhs, rhs, st.Pos(), false)
+				}
+			default: // +=, -=, *=, /=, …
+				for _, lhs := range st.Lhs {
+					s.checkStore(lhs, st.Pos(), true)
+				}
+			}
+		case *ast.RangeStmt:
+			if st.Tok == token.DEFINE {
+				der := s.usesDerived(st.X)
+				for _, e := range []ast.Expr{st.Key, st.Value} {
+					if idx, ok := e.(*ast.Ident); ok && idx.Name != "_" {
+						if obj := s.info.ObjectOf(idx); obj != nil && der {
+							s.derived[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			s.checkStore(st.X, st.Pos(), true)
+		case *ast.CallExpr:
+			if s.follow {
+				s.followCall(st, reportedCalls, parallelPath)
+			}
+		}
+		return true
+	})
+}
+
+// classifyOrCheck handles one lhs ← rhs pair of a plain assignment: a
+// local identifier is (re)classified from its right-hand side; anything
+// else is a store and gets checked.
+func (s *reduceScan) classifyOrCheck(lhs, rhs ast.Expr, pos token.Pos, compound bool) {
+	if idx, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if idx.Name == "_" {
+			return
+		}
+		obj := s.info.ObjectOf(idx)
+		if obj != nil && s.isLocal(obj) && !s.shared[obj] {
+			delete(s.aliased, obj)
+			delete(s.derived, obj)
+			if rhs == nil {
+				return
+			}
+			if s.aliasesShared(rhs) && refType(obj.Type()) {
+				s.aliased[obj] = true
+			} else if s.usesDerived(rhs) {
+				s.derived[obj] = true
+			}
+			return
+		}
+	}
+	s.checkStore(lhs, pos, compound)
+}
+
+// checkStore flags a floating-point store whose base is shared and whose
+// access path carries no range-derived index.
+func (s *reduceScan) checkStore(lhs ast.Expr, pos token.Pos, compound bool) {
+	t := s.info.TypeOf(lhs)
+	if t == nil || !floatType(t) {
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	obj := s.info.ObjectOf(root)
+	if obj == nil || !s.isShared(obj) {
+		return
+	}
+	// Walk the access path: any range-derived index makes the target
+	// worker-disjoint.
+	e := ast.Expr(lhs)
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			if s.usesDerived(x.Index) {
+				return
+			}
+			e = x.X
+			continue
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.StarExpr:
+			e = x.X
+			continue
+		case *ast.SliceExpr:
+			if (x.Low != nil && s.usesDerived(x.Low)) || (x.High != nil && s.usesDerived(x.High)) {
+				return
+			}
+			e = x.X
+			continue
+		}
+		break
+	}
+	s.report(pos, root.Name)
+}
+
+// followCall scans one level into a same-package callee, binding the
+// caller's classification onto the callee's parameters, so a helper like
+// addUpper cannot hide a shared-state accumulation.
+func (s *reduceScan) followCall(call *ast.CallExpr, reported map[token.Pos]bool, parallelPath string) {
+	if reported[call.Pos()] {
+		return
+	}
+	fn := calleeFunc(s.info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != s.p.Pkg.ImportPath {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || signatureHasEngine(sig, parallelPath) {
+		return // engine-threaded dispatchers manage their own reduction
+	}
+	fd := s.p.Mod.FuncDecls[fn]
+	if fd == nil || fd.Body == nil {
+		return
+	}
+
+	// Bind argument classifications to parameter objects.
+	var params []types.Object
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				params = append(params, s.p.Pkg.Info.ObjectOf(name))
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+
+	var args []ast.Expr
+	if sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			args = append(args, sel.X)
+		} else {
+			args = append(args, nil)
+		}
+	}
+	args = append(args, call.Args...)
+
+	sub := &reduceScan{
+		p:       s.p,
+		file:    s.file,
+		info:    s.p.Pkg.Info,
+		lo:      fd.Pos(),
+		hi:      fd.End(),
+		derived: make(map[types.Object]bool),
+		shared:  make(map[types.Object]bool),
+		aliased: make(map[types.Object]bool),
+		follow:  false,
+	}
+	for i, param := range params {
+		if param == nil || i >= len(args) || args[i] == nil {
+			continue
+		}
+		switch {
+		case s.aliasesShared(args[i]):
+			sub.shared[param] = true
+		case s.usesDerived(args[i]):
+			sub.derived[param] = true
+		}
+	}
+	sub.report = func(pos token.Pos, root string) {
+		if reported[call.Pos()] {
+			return
+		}
+		reported[call.Pos()] = true
+		s.p.reportf(s.file, call.Pos(), "parallel worker calls %s, which accumulates into shared %s without a range-derived index; cross-worker reductions must go through fixed-shape slot buffers (the fusedSlots pattern, DESIGN.md §10)", fn.Name(), root)
+	}
+	sub.scan(fd.Body, parallelPath)
+}

@@ -8,15 +8,26 @@ package main
 // message. A constant-string panic is fine: it costs nothing until it
 // fires.
 //
-// Annotate a function by putting //repolint:hotpath on its own line in
-// the doc comment:
+// The scan covers the annotated function's whole body including nested
+// function literals — worker closures handed to the parallel engine run
+// on the same hot path as the code that spawns them. A function literal
+// can also be annotated directly, by putting //repolint:hotpath on the
+// line above the statement that defines it:
 //
 //	// gemmTNRange accumulates dst += alpha·A(lo:hi,:)ᵀ·B(lo:hi,:).
 //	//repolint:hotpath
 //	func gemmTNRange(...)
+//
+//	//repolint:hotpath
+//	body := func(lo, hi int) { … }
+//
+// cgo files (selected under -tags cgoblas,cgo) are parsed but not
+// type-checked; annotated functions there are screened syntactically by
+// selector package name.
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -30,34 +41,137 @@ var hotpathDeniedPkgs = map[string]bool{
 }
 
 func checkHotPath(p *Pass) {
-	info := p.Pkg.Info
 	for _, file := range p.Pkg.Files {
+		annotated := hotpathCommentLines(p.Mod.Fset, file)
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+			if !ok || fd.Body == nil {
 				continue
 			}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil && len(call.Args) == 1 {
-					if !isConstExpr(info, call.Args[0]) {
-						p.reportf(file, call.Pos(), "hotpath function %s panics with a dynamically built message; use a constant string (formatting allocates on the hot path)", fd.Name.Name)
-					}
-					return true
-				}
-				fn := calleeFunc(info, call)
-				if fn == nil || fn.Pkg() == nil {
-					return true
-				}
-				if hotpathDeniedPkgs[fn.Pkg().Path()] {
-					p.reportf(file, call.Pos(), "hotpath function %s calls %s.%s, which allocates; hot-path kernels must stay allocation- and formatting-free", fd.Name.Name, fn.Pkg().Name(), fn.Name())
+			if isHotpathAnnotated(fd) {
+				scanHotBody(p, file, fd.Name.Name, fd.Body)
+				continue
+			}
+			// Function literals annotated at their defining statement
+			// inside an otherwise cold function.
+			for _, lit := range annotatedFuncLits(p.Mod.Fset, fd.Body, annotated) {
+				scanHotBody(p, file, "func literal", lit.Body)
+			}
+		}
+	}
+	for _, file := range p.Pkg.CgoFiles {
+		checkHotPathSyntactic(p, file)
+	}
+}
+
+// scanHotBody flags denied calls and dynamic panics anywhere in body,
+// nested function literals included.
+func scanHotBody(p *Pass, file *ast.File, name string, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil && len(call.Args) == 1 {
+			if !isConstExpr(info, call.Args[0]) {
+				p.reportf(file, call.Pos(), "hotpath function %s panics with a dynamically built message; use a constant string (formatting allocates on the hot path)", name)
+			}
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if hotpathDeniedPkgs[fn.Pkg().Path()] {
+			p.reportf(file, call.Pos(), "hotpath function %s calls %s.%s, which allocates; hot-path kernels must stay allocation- and formatting-free", name, fn.Pkg().Name(), fn.Name())
+		}
+		return true
+	})
+}
+
+// hotpathCommentLines indexes the lines carrying a //repolint:hotpath
+// comment in file.
+func hotpathCommentLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(strings.TrimSpace(c.Text), "//repolint:hotpath") {
+				out[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// annotatedFuncLits finds function literals whose defining statement sits
+// directly below a //repolint:hotpath comment line.
+func annotatedFuncLits(fset *token.FileSet, body *ast.BlockStmt, annotated map[int]bool) []*ast.FuncLit {
+	if len(annotated) == 0 {
+		return nil
+	}
+	var out []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		var values []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			values = st.Rhs
+		case *ast.ValueSpec:
+			values = st.Values
+		default:
+			return true
+		}
+		if !annotated[fset.Position(n.Pos()).Line-1] {
+			return true
+		}
+		for _, v := range values {
+			if lit, ok := ast.Unparen(v).(*ast.FuncLit); ok {
+				out = append(out, lit)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkHotPathSyntactic screens annotated functions in cgo files by
+// selector package name — no type information is available there.
+func checkHotPathSyntactic(p *Pass, file *ast.File) {
+	// Resolve which denied packages the file imports, under their local
+	// names.
+	denied := make(map[string]string)
+	for pkg := range hotpathDeniedPkgs {
+		if local := importName(file, pkg); local != "" && local != "." {
+			denied[local] = pkg
+		}
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !isHotpathAnnotated(fd) {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && len(call.Args) == 1 {
+				if _, isLit := call.Args[0].(*ast.BasicLit); !isLit {
+					p.reportf(file, call.Pos(), "hotpath function %s panics with a dynamically built message; use a constant string", fd.Name.Name)
 				}
 				return true
-			})
-		}
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok {
+				if pkg, banned := denied[id.Name]; banned {
+					p.reportf(file, call.Pos(), "hotpath function %s calls %s.%s, which allocates; hot-path kernels must stay allocation- and formatting-free", fd.Name.Name, pkg, sel.Sel.Name)
+				}
+			}
+			return true
+		})
 	}
 }
 

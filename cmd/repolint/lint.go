@@ -45,6 +45,9 @@ var allChecks = []*check{
 	{"floatcmp", "no ==/!= between computed floating-point operands", checkFloatCmp},
 	{"norand", "no global math/rand state outside testmat/ and _test.go files", checkNoRand},
 	{"hotpath", "//repolint:hotpath functions must not call fmt/log/errors/strconv or panic dynamically", checkHotPath},
+	{"detreduce", "parallel workers in kernel packages must reduce through per-slot buffers, never accumulate into shared float state", checkDetReduce},
+	{"wirebounds", "wire-decoded lengths in service/ must pass a bounds comparison before make, slicing, or loop bounds", checkWireBounds},
+	{"ctxcancel", "sweep and accept loops must observe cancellation once per iteration; go statements must carry a context or engine", checkCtxCancel},
 }
 
 // runChecks applies the enabled checks to every package and returns the
@@ -172,6 +175,36 @@ func (p *Pass) pathIn(rels ...string) bool {
 		}
 	}
 	return false
+}
+
+// pathUnder reports whether the package sits at or below one of the
+// module-relative prefixes — "service" matches both repro/service and
+// repro/service/bad, so fixture sub-packages share the real package's
+// scoping.
+func (p *Pass) pathUnder(rels ...string) bool {
+	for _, rel := range rels {
+		full := p.Mod.Path + "/" + rel
+		if p.Pkg.ImportPath == full || strings.HasPrefix(p.Pkg.ImportPath, full+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeDecl resolves a call one level into the module: the declaration
+// of the invoked function or method when it is module-local, plus its
+// defining package. Checks use this to see through small helpers without
+// a full interprocedural analysis.
+func (p *Pass) calleeDecl(call *ast.CallExpr) (*ast.FuncDecl, *Pkg) {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil {
+		return nil, nil
+	}
+	fd, ok := p.Mod.FuncDecls[fn]
+	if !ok {
+		return nil, nil
+	}
+	return fd, p.Mod.FuncPkg[fn]
 }
 
 // funcBodies collects every function body in file: declarations and

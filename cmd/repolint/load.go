@@ -24,13 +24,14 @@ import (
 )
 
 // Pkg is one module-local package: its type-checked library files plus
-// the syntax (only) of its _test.go files.
+// the syntax (only) of its _test.go files and cgo files.
 type Pkg struct {
 	ImportPath string
 	Dir        string
 	Name       string
 	Files      []*ast.File // buildable non-test files, type-checked
 	TestFiles  []*ast.File // _test.go files, parsed but not type-checked
+	CgoFiles   []*ast.File // files importing "C", parsed but not type-checked
 	Types      *types.Package
 	Info       *types.Info
 }
@@ -42,12 +43,27 @@ type Module struct {
 	Path string
 	Fset *token.FileSet
 	Pkgs []*Pkg
+
+	// FuncDecls indexes every type-checked function and method
+	// declaration by its object, and FuncPkg maps it back to its package
+	// — the lookup behind the checks' one-level interprocedural call
+	// following (Pass.calleeDecl).
+	FuncDecls map[*types.Func]*ast.FuncDecl
+	FuncPkg   map[*types.Func]*Pkg
 }
 
-// loadModule parses and type-checks every package under root. Returned
-// errors are fatal (parse failures, import cycles, type errors): the
-// analyzers require well-typed input.
+// loadModule parses and type-checks every package under root with the
+// default build configuration (no custom tags).
 func loadModule(root string) (*Module, []error) {
+	return loadModuleTags(root, nil)
+}
+
+// loadModuleTags parses and type-checks every package under root.
+// Custom build tags (e.g. "debugchecks", "cgoblas") select tag-gated
+// files exactly as `go build -tags` would. Returned errors are fatal
+// (parse failures, import cycles, type errors): the analyzers require
+// well-typed input.
+func loadModuleTags(root string, tags map[string]bool) (*Module, []error) {
 	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, []error{err}
@@ -73,7 +89,7 @@ func loadModule(root string) (*Module, []error) {
 				return filepath.SkipDir // nested module
 			}
 		}
-		pkg, perrs := parseDir(mod, root, modPath, path)
+		pkg, perrs := parseDir(mod, root, modPath, path, tags)
 		errs = append(errs, perrs...)
 		if pkg != nil {
 			byPath[pkg.ImportPath] = pkg
@@ -117,12 +133,35 @@ func loadModule(root string) (*Module, []error) {
 	if len(errs) > 0 {
 		return nil, errs
 	}
+	mod.indexFuncDecls()
 	return mod, nil
+}
+
+// indexFuncDecls maps every type-checked function and method object to
+// its declaration so checks can follow one level of calls into
+// module-local helpers.
+func (mod *Module) indexFuncDecls() {
+	mod.FuncDecls = make(map[*types.Func]*ast.FuncDecl)
+	mod.FuncPkg = make(map[*types.Func]*Pkg)
+	for _, pkg := range mod.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					mod.FuncDecls[fn] = fd
+					mod.FuncPkg[fn] = pkg
+				}
+			}
+		}
+	}
 }
 
 // parseDir parses one directory into a Pkg, honoring //go:build
 // constraints. Directories without buildable Go files yield nil.
-func parseDir(mod *Module, root, modPath, dir string) (*Pkg, []error) {
+func parseDir(mod *Module, root, modPath, dir string, tags map[string]bool) (*Pkg, []error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, []error{err}
@@ -149,7 +188,7 @@ func parseDir(mod *Module, root, modPath, dir string) (*Pkg, []error) {
 			errs = append(errs, err)
 			continue
 		}
-		if !buildableFile(src) {
+		if !buildableFile(src, tags) {
 			continue
 		}
 		f, err := parser.ParseFile(mod.Fset, full, src, parser.ParseComments)
@@ -159,6 +198,13 @@ func parseDir(mod *Module, root, modPath, dir string) (*Pkg, []error) {
 		}
 		if strings.HasSuffix(name, "_test.go") {
 			pkg.TestFiles = append(pkg.TestFiles, f)
+			continue
+		}
+		if importsC(f) {
+			// cgo files cannot be type-checked without running cgo;
+			// keep the syntax so the syntactic check variants still
+			// see them (like _test.go files).
+			pkg.CgoFiles = append(pkg.CgoFiles, f)
 			continue
 		}
 		if pkg.Name == "" {
@@ -178,13 +224,48 @@ func parseDir(mod *Module, root, modPath, dir string) (*Pkg, []error) {
 	return pkg, nil
 }
 
-var goReleaseTag = regexp.MustCompile(`^go1\.\d+$`)
+var goReleaseTag = regexp.MustCompile(`^go1\.(\d+)$`)
+
+// releaseTagSatisfied reports whether a go1.N build tag is met by the
+// running toolchain. Development toolchains (runtime.Version() not of the
+// form go1.N[.M]) satisfy every release tag.
+func releaseTagSatisfied(tag string) bool {
+	m := goReleaseTag.FindStringSubmatch(tag)
+	if m == nil {
+		return false
+	}
+	want, err := strconv.Atoi(m[1])
+	if err != nil {
+		return false
+	}
+	v := goReleaseVersion.FindStringSubmatch(runtime.Version())
+	if v == nil {
+		return true
+	}
+	have, err := strconv.Atoi(v[1])
+	if err != nil {
+		return true
+	}
+	return want <= have
+}
+
+var goReleaseVersion = regexp.MustCompile(`^go1\.(\d+)`)
+
+// importsC reports whether the file imports "C" (a cgo file).
+func importsC(f *ast.File) bool {
+	for _, spec := range f.Imports {
+		if spec.Path.Value == `"C"` {
+			return true
+		}
+	}
+	return false
+}
 
 // buildableFile evaluates the file's //go:build constraint (if any) for
-// the default build configuration: host GOOS/GOARCH, gc, all go1.N
-// release tags, and no custom tags — so debugchecks-gated files are
-// excluded, exactly as in a plain `go build`.
-func buildableFile(src []byte) bool {
+// host GOOS/GOARCH, gc, all go1.N release tags, and the given custom
+// tags — with a nil tag set, debugchecks-gated files are excluded
+// exactly as in a plain `go build`.
+func buildableFile(src []byte, tags map[string]bool) bool {
 	for _, line := range strings.Split(string(src), "\n") {
 		trimmed := strings.TrimSpace(line)
 		if strings.HasPrefix(trimmed, "package ") {
@@ -198,13 +279,16 @@ func buildableFile(src []byte) bool {
 			return true
 		}
 		return expr.Eval(func(tag string) bool {
+			if tags[tag] {
+				return true
+			}
 			switch tag {
 			case runtime.GOOS, runtime.GOARCH, "gc":
 				return true
 			case "unix":
 				return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
 			}
-			return goReleaseTag.MatchString(tag)
+			return releaseTagSatisfied(tag)
 		})
 	}
 	return true

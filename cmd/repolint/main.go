@@ -14,15 +14,25 @@
 //	norand            no global math/rand state outside testmat/ and tests
 //	hotpath           //repolint:hotpath functions stay free of fmt/log/
 //	                  errors/strconv calls and dynamic panics
+//	detreduce         parallel workers in the kernel packages never
+//	                  accumulate into shared float state directly; cross-
+//	                  worker reductions go through per-slot buffers
+//	wirebounds        lengths decoded from the wire in service/ pass a
+//	                  bounds comparison before make/slicing/loop bounds
+//	ctxcancel         panel/sweep loops and service accept loops observe
+//	                  cancellation once per iteration; go statements carry
+//	                  a context or engine
 //
 // Usage:
 //
-//	go run ./cmd/repolint ./...
+//	go run ./cmd/repolint [-tags cgoblas,cgo] [-json] ./...
 //
 // The package-pattern argument is accepted for familiarity but the tool
 // always analyzes the whole module containing the working directory.
-// Diagnostics print as file:line:col: message [check]; the exit status is
-// 1 when findings exist, 2 on load/type-check errors, 0 otherwise.
+// -tags selects tag-gated files exactly as `go build -tags` would.
+// Diagnostics print as file:line:col: message [check], or as one JSON
+// object per line under -json; the exit status is 1 when findings exist,
+// 2 on load/type-check errors, 0 otherwise.
 //
 // A finding is suppressed by a comment on the same line or the line
 // directly above:
@@ -31,6 +41,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,8 +53,10 @@ import (
 func main() {
 	checksFlag := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	listFlag := flag.Bool("list", false, "list available checks and exit")
+	tagsFlag := flag.String("tags", "", "comma-separated build tags, as in go build -tags")
+	jsonFlag := flag.Bool("json", false, "emit findings as JSON objects, one per line")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: repolint [-checks c1,c2] [./...]\n")
+		fmt.Fprintf(os.Stderr, "usage: repolint [-checks c1,c2] [-tags t1,t2] [-json] [./...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -72,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	mod, errs := loadModule(root)
+	mod, errs := loadModuleTags(root, parseTags(*tagsFlag))
 	if len(errs) > 0 {
 		for _, e := range errs {
 			fmt.Fprintln(os.Stderr, "repolint: load:", e)
@@ -82,12 +95,30 @@ func main() {
 
 	findings := runChecks(mod, enabled)
 	for _, f := range findings {
-		fmt.Println(formatFinding(cwd, f))
+		if *jsonFlag {
+			fmt.Println(jsonFinding(cwd, f))
+		} else {
+			fmt.Println(formatFinding(cwd, f))
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// parseTags splits the -tags flag into a build-tag set.
+func parseTags(spec string) map[string]bool {
+	if spec == "" {
+		return nil
+	}
+	tags := make(map[string]bool)
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			tags[t] = true
+		}
+	}
+	return tags
 }
 
 // selectChecks resolves the -checks flag against the registry.
@@ -133,6 +164,26 @@ func formatFinding(cwd string, f Finding) string {
 		name = rel
 	}
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", name, f.Pos.Line, f.Pos.Column, f.Msg, f.Check)
+}
+
+// jsonFinding renders one diagnostic as a single-line JSON object for
+// machine consumers (editor integrations, CI annotators).
+func jsonFinding(cwd string, f Finding) string {
+	name := f.Pos.Filename
+	if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	buf, err := json.Marshal(struct {
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Col   int    `json:"col"`
+		Check string `json:"check"`
+		Msg   string `json:"msg"`
+	}{name, f.Pos.Line, f.Pos.Column, f.Check, f.Msg})
+	if err != nil {
+		return formatFinding(cwd, f)
+	}
+	return string(buf)
 }
 
 // sortFindings orders diagnostics by file, then line, then column.

@@ -1,0 +1,44 @@
+// Nested-closure regression cases: the hotpath scan must descend into
+// function literals inside an annotated function, and honor the
+// //repolint:hotpath marker on a literal's defining statement.
+package bad
+
+import "fmt"
+
+// sumBlocks reduces blocks through a worker closure; the closure
+// narrates progress, which allocates on every block.
+//
+//repolint:hotpath
+func sumBlocks(blocks [][]float64) float64 {
+	total := 0.0
+	eachBlock(blocks, func(b []float64) {
+		for _, v := range b {
+			total += v
+		}
+		fmt.Println("block done") // want "hotpath function sumBlocks calls fmt.Println, which allocates"
+	})
+	return total
+}
+
+// eachBlock applies f to every block.
+func eachBlock(blocks [][]float64, f func([]float64)) {
+	for _, b := range blocks {
+		f(b)
+	}
+}
+
+// scaleRows annotates the worker literal itself; the surrounding
+// function stays cold.
+func scaleRows(rows [][]float64, alpha float64) {
+	//repolint:hotpath
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+		fmt.Println("range done") // want "hotpath function func literal calls fmt.Println, which allocates"
+	}
+	body(0, len(rows))
+}

@@ -1,0 +1,51 @@
+// Nested-closure passing shapes: allocation-free worker literals inside
+// an annotated function, and a clean annotated literal in a cold one.
+package good
+
+// sumBlocks keeps its worker closure allocation-free; a constant-string
+// panic costs nothing until it fires.
+//
+//repolint:hotpath
+func sumBlocks(blocks [][]float64) float64 {
+	total := 0.0
+	eachBlock(blocks, func(b []float64) {
+		if b == nil {
+			panic("sumBlocks: nil block")
+		}
+		for _, v := range b {
+			total += v
+		}
+	})
+	return total
+}
+
+// eachBlock applies f to every block.
+func eachBlock(blocks [][]float64, f func([]float64)) {
+	for _, b := range blocks {
+		f(b)
+	}
+}
+
+// scaleRows annotates the worker literal itself; the cold tail after the
+// call may allocate freely.
+func scaleRows(rows [][]float64, alpha float64) string {
+	//repolint:hotpath
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+	}
+	body(0, len(rows))
+	return describeRows(rows)
+}
+
+// describeRows is cold-path reporting.
+func describeRows(rows [][]float64) string {
+	if len(rows) == 0 {
+		return "empty"
+	}
+	return "scaled"
+}

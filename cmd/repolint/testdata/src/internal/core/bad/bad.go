@@ -1,0 +1,30 @@
+// Package bad exercises the ctxcancel check's failing shape: a sweep
+// loop that launches engine-threaded kernels without ever observing
+// cancellation, turning Shutdown into an unbounded wait.
+package bad
+
+import (
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// Iterate never checks e.Err(), so a cancelled engine still runs every
+// remaining sweep.
+func Iterate(e *parallel.Engine, a *mat.Dense, iters int) error {
+	for it := 0; it < iters; it++ { // want "loop launches engine-threaded kernels but never observes cancellation"
+		kernel(e, a)
+	}
+	return nil
+}
+
+// kernel fans row work out through the engine.
+func kernel(e *parallel.Engine, a *mat.Dense) {
+	e.For(a.Rows, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for j := range row {
+				row[j] *= 2
+			}
+		}
+	})
+}

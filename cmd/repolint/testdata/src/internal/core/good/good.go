@@ -1,0 +1,58 @@
+// Package good exercises the ctxcancel check's passing shapes: sweep
+// loops that observe engine cancellation once per iteration, and loops
+// that need no observance because they launch no kernels.
+package good
+
+import (
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// Iterate observes e.Err() at every sweep boundary.
+func Iterate(e *parallel.Engine, a *mat.Dense, iters int) error {
+	for it := 0; it < iters; it++ {
+		if err := e.Err(); err != nil {
+			return err
+		}
+		kernel(e, a)
+	}
+	return nil
+}
+
+// Sweep checks at the outer boundary; the inner panel loop is covered by
+// the outer observance (cancellation is checked between kernels, never
+// inside them).
+func Sweep(e *parallel.Engine, a *mat.Dense, sweeps int) error {
+	for s := 0; s < sweeps; s++ {
+		if err := e.Err(); err != nil {
+			return err
+		}
+		for panel := 0; panel < a.Cols; panel++ {
+			kernel(e, a)
+		}
+	}
+	return nil
+}
+
+// Setup loops carry no kernel calls and need no observance.
+func Setup(e *parallel.Engine, p []int) error {
+	for i := range p {
+		p[i] = i
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// kernel fans row work out through the engine.
+func kernel(e *parallel.Engine, a *mat.Dense) {
+	e.For(a.Rows, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for j := range row {
+				row[j] *= 2
+			}
+		}
+	})
+}

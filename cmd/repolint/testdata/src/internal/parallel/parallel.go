@@ -10,6 +10,22 @@ type Engine struct{ workers int }
 // NewEngine returns an engine running at most workers wide.
 func NewEngine(workers int) *Engine { return &Engine{workers: workers} }
 
+// Err mimics cooperative cancellation: nil until the engine context is
+// cancelled (the ctxcancel check looks for per-iteration calls to it).
+func (e *Engine) Err() error { return nil }
+
+// Workers reports the engine width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Range is a half-open index range, as handed to Do-task builders.
+type Range struct{ Lo, Hi int }
+
+// SplitRanges partitions n items into parts contiguous ranges.
+func SplitRanges(n, parts int) []Range {
+	_ = parts
+	return []Range{{0, n}}
+}
+
 // For partitions n items and runs body over each part.
 func (e *Engine) For(n, minGrain int, body func(lo, hi int)) {
 	_ = minGrain

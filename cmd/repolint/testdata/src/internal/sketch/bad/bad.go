@@ -1,0 +1,78 @@
+// Package bad exercises the detreduce check's failing shapes: parallel
+// workers accumulating into shared float state directly, making the
+// summation order a function of engine width and scheduling.
+package bad
+
+import (
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// SharedGram accumulates straight into the shared G from every worker.
+func SharedGram(e *parallel.Engine, a, g *mat.Dense) {
+	n := a.Cols
+	e.For(a.Rows, 1, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			rk := a.Data[k*a.Stride : k*a.Stride+n]
+			for i := 0; i < n; i++ {
+				for j := i; j < n; j++ {
+					g.Data[i*g.Stride+j] += rk[i] * rk[j] // want "parallel worker accumulates into shared g"
+				}
+			}
+		}
+	})
+}
+
+// SharedScalar races workers over one captured float accumulator.
+func SharedScalar(e *parallel.Engine, x []float64) float64 {
+	var sum float64
+	e.For(len(x), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += x[i] // want "parallel worker accumulates into shared sum"
+		}
+	})
+	return sum
+}
+
+// HiddenInHelper routes the shared accumulation through a small helper;
+// the one-level call follow still sees it.
+func HiddenInHelper(e *parallel.Engine, a, g *mat.Dense) {
+	n := a.Cols
+	ranges := parallel.SplitRanges(4, e.Workers())
+	tasks := make([]func(), len(ranges))
+	for ti, tr := range ranges {
+		tasks[ti] = func() {
+			acc := mat.GetWorkspace(n, n, true)
+			gramRange(a, tr.Lo, tr.Hi, acc)
+			mergeInto(g, acc) // want "parallel worker calls mergeInto, which accumulates into shared drow"
+			mat.PutWorkspace(acc)
+		}
+	}
+	e.Do(tasks...)
+}
+
+// gramRange accumulates rows [lo, hi) of A into the private acc.
+func gramRange(a *mat.Dense, lo, hi int, acc *mat.Dense) {
+	n := a.Cols
+	for k := lo; k < hi; k++ {
+		rk := a.Data[k*a.Stride : k*a.Stride+n]
+		for i := 0; i < n; i++ {
+			di := acc.Data[i*acc.Stride : i*acc.Stride+n]
+			for j := i; j < n; j++ {
+				di[j] += rk[i] * rk[j]
+			}
+		}
+	}
+}
+
+// mergeInto is fine when called from a sequential reduce, but a worker
+// calling it writes rows every other worker also writes.
+func mergeInto(dst, src *mat.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		srow := src.Data[i*src.Stride : i*src.Stride+src.Cols]
+		for j := range drow {
+			drow[j] += srow[j]
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Package good exercises the detreduce check's passing shapes: parallel
+// workers that reduce through fixed-shape per-slot buffers (the
+// fusedSlots pattern) or write only to range-disjoint regions of shared
+// state.
+package good
+
+import (
+	"repro/internal/parallel"
+	"repro/mat"
+)
+
+// slots is the fixed reduction fan-out: a function of m alone.
+func slots(m int) int {
+	s := m / 2048
+	if s < 1 {
+		return 1
+	}
+	if s > 16 {
+		return 16
+	}
+	return s
+}
+
+// SlotGram accumulates G += AᵀA through per-slot accumulators merged in
+// ascending slot order — the deterministic reduction detreduce demands.
+func SlotGram(e *parallel.Engine, a, g *mat.Dense) {
+	m, n := a.Rows, a.Cols
+	ns := slots(m)
+	accs := make([]*mat.Dense, ns)
+	ranges := parallel.SplitRanges(ns, e.Workers())
+	tasks := make([]func(), len(ranges))
+	for ti, tr := range ranges {
+		tasks[ti] = func() {
+			for si := tr.Lo; si < tr.Hi; si++ {
+				acc := mat.GetWorkspace(n, n, true)
+				lo, hi := slotBounds(m, ns, si)
+				gramRange(a, lo, hi, acc)
+				accs[si] = acc
+			}
+		}
+	}
+	e.Do(tasks...)
+	for _, acc := range accs {
+		addAll(g, acc)
+		mat.PutWorkspace(acc)
+	}
+}
+
+// RangeScale writes only the worker's own rows: the range parameters
+// index the shared matrix, so the store is worker-disjoint.
+func RangeScale(e *parallel.Engine, a *mat.Dense, alpha float64) {
+	e.For(a.Rows, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*a.Stride : i*a.Stride+a.Cols]
+			for j := range row {
+				row[j] *= alpha
+			}
+		}
+	})
+}
+
+// slotBounds computes the half-open row range of slot si.
+func slotBounds(m, ns, si int) (lo, hi int) {
+	chunk := m / ns
+	lo = si * chunk
+	hi = lo + chunk
+	if si == ns-1 {
+		hi = m
+	}
+	return lo, hi
+}
+
+// gramRange accumulates rows [lo, hi) of A into the private acc.
+func gramRange(a *mat.Dense, lo, hi int, acc *mat.Dense) {
+	n := a.Cols
+	for k := lo; k < hi; k++ {
+		rk := a.Data[k*a.Stride : k*a.Stride+n]
+		for i := 0; i < n; i++ {
+			di := acc.Data[i*acc.Stride : i*acc.Stride+n]
+			for j := i; j < n; j++ {
+				di[j] += rk[i] * rk[j]
+			}
+		}
+	}
+}
+
+// addAll merges src into dst — called only from the sequential reduce.
+func addAll(dst, src *mat.Dense) {
+	for i := 0; i < dst.Rows; i++ {
+		drow := dst.Data[i*dst.Stride : i*dst.Stride+dst.Cols]
+		srow := src.Data[i*src.Stride : i*src.Stride+src.Cols]
+		for j := range drow {
+			drow[j] += srow[j]
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package bad exercises the wirebounds check's failing shapes: raw
+// wire-decoded lengths reaching allocations, slice bounds, loop bounds,
+// and sizing helpers with no comparison in between.
+package bad
+
+// reader mimics the service wire decoder, minus the discipline.
+type reader struct {
+	buf []byte
+	off int
+}
+
+// u16 reads a little-endian uint16.
+func (d *reader) u16() int {
+	if d.off+2 > len(d.buf) {
+		return 0
+	}
+	v := int(d.buf[d.off]) | int(d.buf[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+// u32 reads a little-endian uint32.
+func (d *reader) u32() int {
+	if d.off+4 > len(d.buf) {
+		return 0
+	}
+	v := int(d.buf[d.off]) | int(d.buf[d.off+1])<<8 | int(d.buf[d.off+2])<<16 | int(d.buf[d.off+3])<<24
+	d.off += 4
+	return v
+}
+
+// DecodeVector allocates and loops on an unvalidated count.
+func DecodeVector(payload []byte) []int {
+	d := &reader{buf: payload}
+	n := d.u32()
+	out := make([]int, n)    // want "wire-decoded length n reaches make"
+	for i := 0; i < n; i++ { // want "wire-decoded length n reaches a loop bound"
+		out[i] = d.u16()
+	}
+	return out
+}
+
+// DecodeName slices the payload at an attacker-chosen offset.
+func DecodeName(payload []byte) string {
+	d := &reader{buf: payload}
+	n := d.u16()
+	return string(payload[2 : 2+n]) // want "wire-decoded length n reaches a slice bound"
+}
+
+// DecodeBlob hands the raw length to a helper that allocates with it.
+func DecodeBlob(payload []byte) []byte {
+	d := &reader{buf: payload}
+	n := d.u32()
+	return alloc(n) // want "wire-decoded length n reaches helper alloc"
+}
+
+// alloc sizes a buffer with whatever it is given.
+func alloc(n int) []byte { return make([]byte, n) }

@@ -1,0 +1,16 @@
+package bad
+
+// The ctxcancel failing shapes for service code: an unsupervised
+// goroutine and an unbounded loop that never observes cancellation.
+
+// Run spawns a worker no context can stop.
+func Run(frames chan []byte) {
+	go func() { // want "go statement carries no context or engine"
+		for { // want "unbounded service loop never observes cancellation"
+			f := <-frames
+			if f == nil {
+				return
+			}
+		}
+	}()
+}

@@ -1,0 +1,96 @@
+// Package good exercises the wirebounds check's passing shapes: every
+// length decoded off the wire passes a magnitude comparison (or the
+// reader's need gate) before sizing an allocation, a slice, or a loop.
+package good
+
+import "errors"
+
+var errShort = errors.New("short frame")
+
+// maxElems is the named limit hostile frames are rejected against.
+const maxElems = 1 << 16
+
+// reader mimics the service wire decoder.
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// need gates every read on the remaining frame bytes.
+func (d *reader) need(n int) bool {
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = errShort
+		return false
+	}
+	return true
+}
+
+// u16 reads a little-endian uint16.
+func (d *reader) u16() int {
+	if !d.need(2) {
+		return 0
+	}
+	v := int(d.buf[d.off]) | int(d.buf[d.off+1])<<8
+	d.off += 2
+	return v
+}
+
+// u32 reads a little-endian uint32.
+func (d *reader) u32() int {
+	if !d.need(4) {
+		return 0
+	}
+	v := int(d.buf[d.off]) | int(d.buf[d.off+1])<<8 | int(d.buf[d.off+2])<<16 | int(d.buf[d.off+3])<<24
+	d.off += 4
+	return v
+}
+
+// DecodeVector validates the element count before allocating or looping.
+func DecodeVector(payload []byte) []int {
+	d := &reader{buf: payload}
+	n := d.u32()
+	if n < 1 || n > maxElems {
+		return nil
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.u16()
+	}
+	return out
+}
+
+// DecodeName bounds the string length against the payload before slicing.
+func DecodeName(payload []byte) string {
+	d := &reader{buf: payload}
+	n := d.u16()
+	if n > len(payload)-2 {
+		return ""
+	}
+	return string(payload[2 : 2+n])
+}
+
+// DecodeBlob validates before handing the length to a sizing helper.
+func DecodeBlob(payload []byte, lim int) []byte {
+	d := &reader{buf: payload}
+	n := d.u32()
+	if n > lim {
+		return nil
+	}
+	return alloc(n)
+}
+
+// DecodeGated relies on the reader's own need gate.
+func DecodeGated(payload []byte) []byte {
+	d := &reader{buf: payload}
+	n := d.u16()
+	if !d.need(n) {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	return out
+}
+
+// alloc sizes a buffer; callers validate the length first.
+func alloc(n int) []byte { return make([]byte, n) }

@@ -1,0 +1,47 @@
+package good
+
+// The ctxcancel passing shapes for service code: unbounded loops that
+// observe a context per iteration, and go statements that carry one —
+// directly or one call level down.
+
+import "context"
+
+// Pump spawns a drain goroutine that carries its context.
+func Pump(ctx context.Context, frames <-chan []byte) {
+	go pump(ctx, frames)
+}
+
+// pump drains frames until cancellation.
+func pump(ctx context.Context, frames <-chan []byte) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case f := <-frames:
+			if f == nil {
+				return
+			}
+		}
+	}
+}
+
+// pumpServer owns a context its workers observe.
+type pumpServer struct {
+	ctx    context.Context
+	frames chan []byte
+}
+
+// Start spawns the run loop; the one-level follow sees s.ctx inside it.
+func (s *pumpServer) Start() {
+	go s.run()
+}
+
+func (s *pumpServer) run() {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-s.frames:
+		}
+	}
+}

@@ -1,0 +1,453 @@
+package main
+
+// wirebounds statically proves the "reject hostile frames before
+// allocating" contract of the service wire decoder: every length decoded
+// from the wire (the reader's u8/u16/u32/u64 methods, or
+// binary.LittleEndian.UintNN on a raw header) is tainted, and a tainted
+// value must pass a magnitude comparison — an if whose condition compares
+// it and whose body terminates (return/branch/panic), or a use nested
+// inside such a guard, or the reader's own need() gate — before it may
+// reach a make() size, a slice bound, a slice/array index, or a loop
+// bound. Without the comparison, a hostile frame chooses the allocation
+// size.
+//
+// The analysis is per-function and lexical: a later re-assignment from a
+// non-wire expression kills the taint; a fresh wire read re-taints. One
+// level of module-local calls is followed, so passing a raw length to a
+// helper that allocates with it is flagged at the call site.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wireReadMethods are the reader methods that materialize unvalidated
+// integers off the wire. f64 payloads are data, not lengths.
+var wireReadMethods = map[string]bool{"u8": true, "u16": true, "u32": true, "u64": true}
+
+// binaryReadFuncs are the encoding/binary byteOrder reads used on raw
+// frame headers.
+var binaryReadFuncs = map[string]bool{"Uint16": true, "Uint32": true, "Uint64": true}
+
+func checkWireBounds(p *Pass) {
+	if !p.pathUnder("service") {
+		return
+	}
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := newWireScan(p, file)
+			w.analyze(fd.Body, nil, true)
+		}
+	}
+}
+
+// wireGuard is one if-statement comparing a tainted value.
+type wireGuard struct {
+	pos, end    token.Pos
+	bodyLo      token.Pos
+	bodyHi      token.Pos
+	terminating bool
+}
+
+// wireScan holds the per-function lexical taint state.
+type wireScan struct {
+	p    *Pass
+	file *ast.File
+	info *types.Info
+
+	taints   map[types.Object][]token.Pos // wire-read assignment positions
+	kills    map[types.Object][]token.Pos // non-wire re-assignment positions
+	guards   map[types.Object][]wireGuard // bounds comparisons
+	needs    map[types.Object][]token.Pos // reader need() gates
+	reported map[token.Pos]bool
+}
+
+func newWireScan(p *Pass, file *ast.File) *wireScan {
+	return &wireScan{
+		p: p, file: file, info: p.Pkg.Info,
+		taints:   make(map[types.Object][]token.Pos),
+		kills:    make(map[types.Object][]token.Pos),
+		guards:   make(map[types.Object][]wireGuard),
+		needs:    make(map[types.Object][]token.Pos),
+		reported: make(map[token.Pos]bool),
+	}
+}
+
+// analyze runs the taint pass over one function body. preTainted marks
+// parameters tainted on entry (the one-level follow); report controls
+// whether findings are emitted directly (the callee probe only records).
+// It returns whether any unguarded sink was found.
+func (w *wireScan) analyze(body *ast.BlockStmt, preTainted []types.Object, report bool) bool {
+	for _, obj := range preTainted {
+		w.taints[obj] = append(w.taints[obj], body.Pos())
+	}
+	w.collect(body)
+	return w.checkSinks(body, report)
+}
+
+// collect walks the body recording taints, kills, guards, and need gates.
+func (w *wireScan) collect(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || idx.Name == "_" {
+					continue
+				}
+				obj := w.info.ObjectOf(idx)
+				if obj == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if w.isWireRead(rhs) {
+					w.taints[obj] = append(w.taints[obj], st.Pos())
+				} else {
+					w.kills[obj] = append(w.kills[obj], st.Pos())
+				}
+			}
+		case *ast.IfStmt:
+			objs := w.comparedObjects(st.Cond)
+			if len(objs) == 0 {
+				return true
+			}
+			g := wireGuard{
+				pos:         st.Pos(),
+				end:         st.End(),
+				bodyLo:      st.Body.Pos(),
+				bodyHi:      st.End(), // includes else branches
+				terminating: terminatingBlock(st.Body),
+			}
+			for _, obj := range objs {
+				w.guards[obj] = append(w.guards[obj], g)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(w.info, st); fn != nil && fn.Name() == "need" && w.localReceiver(fn) {
+				for _, arg := range st.Args {
+					for obj := range w.taints {
+						if usesObject(w.info, arg, obj) {
+							w.needs[obj] = append(w.needs[obj], st.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSinks walks the body flagging tainted, unguarded length uses.
+func (w *wireScan) checkSinks(body *ast.BlockStmt, report bool) bool {
+	found := false
+	flag := func(pos token.Pos, obj types.Object, what string) {
+		if !w.unguardedAt(obj, pos) {
+			return
+		}
+		found = true
+		if report && !w.reported[pos] {
+			w.reported[pos] = true
+			w.p.reportf(w.file, pos, "wire-decoded length %s reaches %s without a bounds comparison against a limit; validate before allocating (hostile-frame contract)", obj.Name(), what)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := w.info.ObjectOf(id).(*types.Builtin); isBuiltin {
+					for _, arg := range st.Args[1:] {
+						for _, obj := range w.taintedIn(arg) {
+							flag(st.Pos(), obj, "make")
+						}
+					}
+					return true
+				}
+			}
+			w.checkCallFollow(st, flag)
+		case *ast.SliceExpr:
+			if !indexableType(w.info.TypeOf(st.X)) {
+				return true
+			}
+			for _, bound := range []ast.Expr{st.Low, st.High, st.Max} {
+				if bound == nil {
+					continue
+				}
+				for _, obj := range w.taintedIn(bound) {
+					flag(st.Pos(), obj, "a slice bound")
+				}
+			}
+		case *ast.IndexExpr:
+			if !indexableType(w.info.TypeOf(st.X)) {
+				return true
+			}
+			for _, obj := range w.taintedIn(st.Index) {
+				flag(st.Pos(), obj, "an index")
+			}
+		case *ast.ForStmt:
+			if st.Cond != nil {
+				for _, obj := range w.taintedIn(st.Cond) {
+					flag(st.Cond.Pos(), obj, "a loop bound")
+				}
+			}
+		case *ast.RangeStmt:
+			if id, ok := ast.Unparen(st.X).(*ast.Ident); ok {
+				if t, ok := w.info.TypeOf(st.X).Underlying().(*types.Basic); ok && t.Info()&types.IsInteger != 0 {
+					if obj := w.info.ObjectOf(id); obj != nil {
+						flag(st.X.Pos(), obj, "a loop bound")
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkCallFollow flags tainted identifiers passed raw to a module-local
+// callee whose body lets the parameter reach a sink unguarded.
+func (w *wireScan) checkCallFollow(call *ast.CallExpr, flag func(token.Pos, types.Object, string)) {
+	fn := calleeFunc(w.info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != w.p.Pkg.ImportPath {
+		return
+	}
+	fd := w.p.Mod.FuncDecls[fn]
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	// Reader methods are the decoding substrate itself, not helpers that
+	// a raw length escapes into; their own bodies are analyzed directly.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && w.localReceiver(fn) {
+		if wireReadMethods[fn.Name()] || fn.Name() == "need" {
+			return
+		}
+	}
+	paramObjs := paramObjects(w.p.Pkg.Info, fd)
+	for i, arg := range call.Args {
+		obj := taintableIdent(w.info, arg)
+		if obj == nil || !w.unguardedAt(obj, call.Pos()) {
+			continue
+		}
+		// Positional mapping; variadic / receiver mismatches simply skip.
+		pi := i
+		if fd.Recv != nil {
+			pi = i + 1
+		}
+		if pi >= len(paramObjs) || paramObjs[pi] == nil {
+			continue
+		}
+		sub := newWireScan(w.p, w.file)
+		if sub.analyze(fd.Body, []types.Object{paramObjs[pi]}, false) {
+			flag(call.Pos(), obj, "helper "+fn.Name()+", which uses it as a size")
+		}
+	}
+}
+
+// unguardedAt reports whether obj is tainted at pos with no intervening
+// kill, bounds guard, or need() gate since the latest taint.
+func (w *wireScan) unguardedAt(obj types.Object, pos token.Pos) bool {
+	var taint token.Pos
+	for _, t := range w.taints[obj] {
+		if t < pos && t > taint {
+			taint = t
+		}
+	}
+	if taint == token.NoPos {
+		return false
+	}
+	for _, k := range w.kills[obj] {
+		if k > taint && k < pos {
+			return false
+		}
+	}
+	for _, nd := range w.needs[obj] {
+		if nd > taint && nd < pos {
+			return false
+		}
+	}
+	for _, g := range w.guards[obj] {
+		if g.pos > taint && g.terminating && g.end <= pos {
+			return false // guard-then-return before the use
+		}
+		if g.pos > taint && g.bodyLo <= pos && pos < g.bodyHi {
+			return false // use nested inside the guarded branch
+		}
+	}
+	return true
+}
+
+// taintedIn returns the tainted objects referenced under e (guard state
+// is evaluated by the caller at the sink position).
+func (w *wireScan) taintedIn(e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := w.info.ObjectOf(id); obj != nil {
+				if _, tainted := w.taints[obj]; tainted {
+					out = append(out, obj)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isWireRead reports whether e contains a call that reads an integer off
+// the wire.
+func (w *wireScan) isWireRead(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(w.info, call)
+		if fn == nil {
+			return true
+		}
+		if wireReadMethods[fn.Name()] && w.localReceiver(fn) {
+			found = true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "encoding/binary" && binaryReadFuncs[fn.Name()] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// localReceiver reports whether fn is a method on a type declared in the
+// scanned package (the wire reader lives beside its users).
+func (w *wireScan) localReceiver(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	path, _ := namedPath(sig.Recv().Type())
+	return path == w.p.Pkg.ImportPath
+}
+
+// comparedObjects returns the objects magnitude-compared anywhere under
+// cond (the `n < 1 || m > lim.MaxRows` shape).
+func (w *wireScan) comparedObjects(cond ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := w.info.ObjectOf(id); obj != nil {
+						out = append(out, obj)
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// terminatingBlock reports whether the block contains a statement that
+// aborts the current path: return, break/continue/goto, or panic.
+func terminatingBlock(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// taintableIdent unwraps parens and integer conversions down to a plain
+// identifier, or nil.
+func taintableIdent(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.CallExpr:
+			// int(n)-style conversion: exactly one argument and the
+			// "callee" names a type.
+			if len(x.Args) != 1 {
+				return nil
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if _, isType := info.ObjectOf(id).(*types.TypeName); isType || id.Name == "int" {
+					e = x.Args[0]
+					continue
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// paramObjects lists the receiver (if any) followed by the parameter
+// objects of fd, in order.
+func paramObjects(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				out = append(out, info.ObjectOf(name))
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return out
+}
+
+// indexableType reports whether t is a slice, array, or string — the
+// types where an attacker-chosen index or bound panics or over-reads.
+func indexableType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}

@@ -133,6 +133,7 @@ func Run(p int, body func(Comm)) {
 	panics := make([]any, p)
 	wg.Add(p)
 	for r := 0; r < p; r++ {
+		//repolint:allow ctxcancel — wg-bounded rank goroutines; Run returns only after all ranks join
 		go func(r int) {
 			defer wg.Done()
 			defer func() {

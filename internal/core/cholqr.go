@@ -215,6 +215,9 @@ func ShiftedCholQR3(e *parallel.Engine, a *mat.Dense) (*QR, error) {
 	q := a.Clone()
 	rAcc := mat.Identity(n)
 	for pass := 0; pass < maxShiftedPasses; pass++ {
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
 		// Shifted preconditioning pass: R₁ = chol(QᵀQ + s·I), Q := Q·R₁⁻¹.
 		w := mat.NewDense(n, n)
 		blas.SyrkUpperTrans(e, 1, q, 0, w)

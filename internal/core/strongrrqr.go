@@ -52,6 +52,9 @@ func StrongRRQR(e *parallel.Engine, a *mat.Dense, k int, f float64) (*CPResult, 
 	r := lapack.ExtractR(fac)
 
 	for swaps := 0; ; swaps++ {
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
 		if swaps > maxStrongRRQRSwaps {
 			return nil, fmt.Errorf("core: StrongRRQR did not converge within %d swaps", maxStrongRRQRSwaps)
 		}

@@ -20,6 +20,7 @@ import (
 // the listener is requested; server errors are reported on stderr because
 // profiling must never take the benchmark down.
 func ServePprof(addr string) {
+	//repolint:allow ctxcancel — process-lifetime pprof listener, intentionally never shut down
 	go func() {
 		if err := http.ListenAndServe(addr, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "trace: pprof server on %s: %v\n", addr, err)

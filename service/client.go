@@ -70,6 +70,7 @@ func Dial(addr string) (*Client, error) {
 		waiters:  make(map[uint64]chan clientMsg),
 		maxFrame: DefaultMaxFrameBytes,
 	}
+	//repolint:allow ctxcancel — connection-lifetime reader; Close() unblocks readFrame and ends it
 	go c.readLoop()
 	return c, nil
 }
@@ -80,6 +81,7 @@ func (c *Client) Close() error { return c.conn.Close() }
 // readLoop routes response frames to waiting calls by job id.
 func (c *Client) readLoop() {
 	br := bufio.NewReader(c.conn)
+	//repolint:allow ctxcancel — per-call deadlines live in Factor; the loop ends when Close() breaks readFrame
 	for {
 		payload, err := readFrame(br, c.maxFrame)
 		if err != nil {

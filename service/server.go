@@ -210,6 +210,11 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 	for {
+		// Shutdown closes the listener, which unblocks Accept; the
+		// context check covers a hard cancel that raced the close.
+		if s.baseCtx.Err() != nil {
+			return ErrServerClosed
+		}
 		conn, err := ln.Accept()
 		if err != nil {
 			if s.draining.Load() {
@@ -271,6 +276,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.buckets.flushAll()
 
 	done := make(chan struct{})
+	//repolint:allow ctxcancel — bounded by the ctx select below; the waiter goroutine exists to make Wait selectable
 	go func() {
 		s.jobs.Wait()
 		s.buckets.wait()
@@ -332,6 +338,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	var inflight sync.WaitGroup
 	lim := Limits{MaxRows: s.cfg.MaxRows, MaxCols: s.cfg.MaxCols, MaxFrameBytes: s.cfg.MaxFrameBytes}
 	for {
+		// A hard stop cancels baseCtx; stop reading new frames so the
+		// connection drains instead of admitting doomed jobs.
+		if s.baseCtx.Err() != nil {
+			break
+		}
 		payload, err := readFrame(br, s.cfg.MaxFrameBytes)
 		if err != nil {
 			// EOF and closed-conn errors end the connection silently; a
