@@ -7,7 +7,7 @@ BENCH_TOLERANCE ?= 0.25
 .PHONY: all ci build lint fmt-check vet repolint escapecheck \
 	lint-fix-baseline test test-debug test-cgoblas \
 	race bench bench-json bench-smoke cover cover-gate repro repro-paper \
-	examples clean
+	e2e-ooc examples clean
 
 all: build vet test
 
@@ -96,6 +96,28 @@ bench-smoke:
 	$(GO) run ./cmd/bench-service -jobs 120 -o bench_candidate.json
 	BENCH_TOLERANCE=$(BENCH_TOLERANCE) \
 		$(GO) run ./cmd/bench-check -baseline BENCH_kernels.json -candidate bench_candidate.json
+
+# End-to-end out-of-core gate: generate a ~1 GiB binary matrix
+# (2M×64 float64), factorize it through the streaming QRCPFile path with
+# Q written back to disk, under a 256 MiB GOMEMLIMIT (which also drives
+# the panel autotuner) and an aggressive GOGC so the collector cannot
+# paper over a materialized matrix. The gate greps the tool's peak-heap
+# line and fails above 512 MiB — half the input, so any code path that
+# loads A (or Q) whole trips it with a wide margin.
+OOC_DIR := e2e_ooc_tmp
+e2e-ooc:
+	@mkdir -p $(OOC_DIR) bin
+	$(GO) build -o bin/matconv ./cmd/matconv
+	$(GO) build -o bin/qrcp ./cmd/qrcp
+	bin/matconv -gen -rows 2000000 -cols 64 -seed 1 $(OOC_DIR)/a.tsqrmat
+	GOMEMLIMIT=256MiB GOGC=5 bin/qrcp -file $(OOC_DIR)/a.tsqrmat \
+		-q-out $(OOC_DIR)/q.tsqrmat -scratch-dir $(OOC_DIR) | tee $(OOC_DIR)/run.log
+	@peak=$$(awk -F': *' '/^peak heap/ {print $$2+0}' $(OOC_DIR)/run.log); \
+	echo "peak heap: $$peak MiB (gate: 512 MiB for a 1024 MiB matrix)"; \
+	[ -n "$$peak" ] && [ "$$peak" -lt 512 ] || \
+		{ echo "out-of-core run materialized the matrix" >&2; exit 1; }
+	bin/matconv -info $(OOC_DIR)/q.tsqrmat
+	rm -rf $(OOC_DIR)
 
 cover:
 	$(GO) test -cover ./...

@@ -28,6 +28,11 @@
 // rows (cmd/bench-service) at the smoke shape must be present, show at
 // least serviceMinJobsPerSec jobs/sec end to end, and carry a coherent
 // latency distribution (0 < p50 ≤ p99).
+//
+// The out-of-core path has one too: the OOCQRCP rows must be present
+// with a positive streamed GB/s, and the PrefetchStallFraction metric
+// row must sit below 0.5 — the prefetch pipeline hiding at least half
+// of the disk time behind compute.
 package main
 
 import (
@@ -348,6 +353,52 @@ func serviceGates(path string, rep *report) []string {
 	return errs
 }
 
+// The absolute acceptance gate of the out-of-core path (ISSUE 10: the
+// prefetch pipeline must actually overlap I/O with compute). The gate
+// shape matches the fixed OOCQRCP pair cmd/bench-kernels emits, and the
+// stall-fraction ceiling is the acceptance criterion: the compute side
+// blocked waiting on disk for less than half the wall-clock.
+const (
+	oocGateM            = 200_000
+	oocGateN            = 64
+	oocMaxStallFraction = 0.5
+)
+
+// oocGates checks the out-of-core acceptance criteria on one report:
+// the OOCQRCP streaming row must be present with a positive streamed
+// GB/s, and its PrefetchStallFraction metric row must sit under the
+// ceiling. Missing rows are violations, not skips.
+func oocGates(path string, rep *report) []string {
+	var errs []string
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf("%s: %s", path, fmt.Sprintf(format, args...)))
+	}
+	var thr, stall *record
+	for i, r := range rep.Records {
+		if r.Name != "OOCQRCP" || r.M != oocGateM || r.N != oocGateN {
+			continue
+		}
+		switch r.Stage {
+		case "":
+			thr = &rep.Records[i]
+		case "PrefetchStallFraction":
+			stall = &rep.Records[i]
+		}
+	}
+	if thr == nil {
+		bad("missing OOCQRCP streaming row at m=%d n=%d", oocGateM, oocGateN)
+	} else if thr.Gbps <= 0 {
+		bad("OOCQRCP at m=%d n=%d: non-positive streamed GB/s %g", oocGateM, oocGateN, thr.Gbps)
+	}
+	if stall == nil {
+		bad("missing OOCQRCP PrefetchStallFraction row at m=%d n=%d", oocGateM, oocGateN)
+	} else if stall.Value >= oocMaxStallFraction {
+		bad("OOCQRCP prefetch-stall fraction %.3f at m=%d n=%d at or above the %.2f ceiling — the pipeline is not hiding the disk",
+			stall.Value, oocGateM, oocGateN, oocMaxStallFraction)
+	}
+	return errs
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_kernels.json", "committed baseline JSON")
 	candidate := flag.String("candidate", "", "freshly produced JSON to gate (required)")
@@ -399,6 +450,12 @@ func main() {
 	// And the absolute service-layer gate: the served jobs/sec floor with
 	// a coherent latency distribution attached.
 	for _, msg := range serviceGates(*candidate, cand) {
+		fmt.Fprintln(os.Stderr, "bench-check: gate:", msg)
+		fatal = true
+	}
+	// The out-of-core gate: streamed GB/s present and the prefetch
+	// pipeline hiding at least half of the disk time.
+	for _, msg := range oocGates(*candidate, cand) {
 		fmt.Fprintln(os.Stderr, "bench-check: gate:", msg)
 		fatal = true
 	}

@@ -3,7 +3,7 @@ package main
 // ctxcancel enforces the cooperative-cancellation contract at its three
 // choke points:
 //
-//  1. Sweep loops in internal/core: a function that threads a
+//  1. Sweep loops in internal/core and internal/ooc: a function that threads a
 //     *parallel.Engine and returns an error must observe cancellation —
 //     e.Err(), ctx.Err(), or ctx.Done() — at least once per iteration of
 //     any loop that launches engine-threaded kernels. Cancellation is
@@ -29,7 +29,7 @@ import (
 )
 
 func checkCtxCancel(p *Pass) {
-	if p.pathUnder("internal/core") {
+	if p.pathUnder("internal/core", "internal/ooc") {
 		checkSweepLoops(p)
 	}
 	if p.pathUnder("service") {

@@ -2,7 +2,7 @@ package main
 
 // detreduce makes the width-determinism contract of DESIGN.md §10 a
 // compile-time property: in the kernel packages (internal/blas,
-// internal/core, internal/sketch), a parallel worker — a function
+// internal/core, internal/sketch, internal/ooc), a parallel worker — a function
 // literal handed to Engine.For or Engine.Do — must never accumulate into
 // shared float state directly. Cross-worker reductions have to flow
 // through fixed-shape slot buffers (the fusedSlots/slots(m) pattern):
@@ -37,7 +37,7 @@ import (
 
 // detReducePkgs are the module-relative package prefixes the
 // determinism contract applies to.
-var detReducePkgs = []string{"internal/blas", "internal/core", "internal/sketch"}
+var detReducePkgs = []string{"internal/blas", "internal/core", "internal/sketch", "internal/ooc"}
 
 func checkDetReduce(p *Pass) {
 	if !p.pathUnder(detReducePkgs...) {

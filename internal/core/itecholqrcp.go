@@ -4,11 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/blas"
-	"repro/internal/cholcp"
-	"repro/internal/lapack"
 	"repro/internal/parallel"
-	"repro/internal/trace"
 	"repro/mat"
 )
 
@@ -63,7 +59,7 @@ func IteCholQRCP(e *parallel.Engine, a *mat.Dense, eps float64) (*CPResult, erro
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: IteCholQRCP needs a tall matrix, got %d×%d", a.Rows, a.Cols))
 	}
-	return iteCholQRCP(e, a, eps, DefaultMaxIterations, nil, defaultGram(e), FuseEnabled())
+	return iteCholQRCP(e, a, eps, DefaultMaxIterations, nil, fixedGram(e), FuseEnabled())
 }
 
 // IteCholQRCPGram runs Algorithm 4 with a pluggable Gram computation and
@@ -88,170 +84,25 @@ func IteCholQRCPTraced(e *parallel.Engine, a *mat.Dense, eps float64, trace Iter
 	if a.Rows < a.Cols {
 		panic(fmt.Sprintf("core: IteCholQRCP needs a tall matrix, got %d×%d", a.Rows, a.Cols))
 	}
-	return iteCholQRCP(e, a, eps, DefaultMaxIterations, trace, defaultGram(e), FuseEnabled())
+	return iteCholQRCP(e, a, eps, DefaultMaxIterations, trace, fixedGram(e), FuseEnabled())
 }
 
+// iteCholQRCP is the in-core entry point: it clones a into a resident
+// working matrix, runs the shared sweep driver over the denseSweeper,
+// and attaches the working matrix (now Q) to the result. All algorithm
+// logic lives in IteCholQRCPSweeps so the out-of-core path replays the
+// exact same replicated steps.
 func iteCholQRCP(e *parallel.Engine, a *mat.Dense, eps float64, maxIter int, iterCB IterTrace, gram GramFunc, fuse bool) (*CPResult, error) {
-	m, n := a.Rows, a.Cols
 	if eps < 0 || eps >= 1 {
 		panic(fmt.Sprintf("core: IteCholQRCP tolerance %g outside [0,1)", eps))
 	}
-	aw := a.Clone()             // A^(i), updated in place
-	rTotal := mat.Identity(n)   // accumulated R
-	perm := mat.IdentityPerm(n) // accumulated P
-	w := mat.NewDense(n, n)     // Gram workspace
-	rp := mat.NewDense(n, n)    // R′ workspace, reused across iterations
-	res := &CPResult{PivotIter: make([]int, n)}
-	var fullPerm mat.Perm // full-width permutation scratch for the fused pass
-	if fuse {
-		fullPerm = make(mat.Perm, n)
-	}
-
-	k := 0
-	haveW := false // true when the previous fused pass already produced W
-	for iter := 0; k < n; iter++ {
-		if iter >= maxIter {
-			return nil, ErrStall
-		}
-		// Cooperative cancellation: give up between iterations, never
-		// inside a kernel.
-		if err := e.Err(); err != nil {
-			return nil, err
-		}
-		trace.Inc(trace.CtrIterations)
-		// Line 3: W := AᵀA — unless the previous iteration's fused
-		// permute→TRSM→Gram pass already streamed it out.
-		if !haveW {
-			sg := trace.Region(trace.StageGram)
-			gram(w, aw)
-			sg.End()
-			trace.AddFlops(trace.StageGram, int64(m)*int64(n)*int64(n+1))
-		}
-		haveW = false
-
-		// Lines 4–7: all the Cholesky work on the Gram matrix — the fixed
-		// block factor/eliminate plus P-Chol-CP on the Schur complement.
-		sc := trace.Region(trace.StageCholCP)
-		rp.Zero()
-		if k > 0 {
-			// Lines 4–6: factor the fixed block and eliminate coupling.
-			r11 := rp.Slice(0, k, 0, k)
-			r11.Copy(w.Slice(0, k, 0, k))
-			if err := lapack.PotrfUpper(e, r11); err != nil {
-				sc.End()
-				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
-			}
-			lapack.ZeroLower(r11)
-			r12 := rp.Slice(0, k, k, n)
-			r12.Copy(w.Slice(0, k, k, n))
-			blas.TrsmLeftUpperTrans(r11, r12) // R₁₂ := R₁₁⁻ᵀ·W₁₂
-			// W̃₂₂ := W₂₂ − R₁₂ᵀ·R₁₂ (Schur complement of the fixed block).
-			w22 := w.Slice(k, n, k, n)
-			blas.Gemm(e, blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
-			// Mirror the wrapped kernels' flop attribution at the stage
-			// level so cmd/trace-report stage and kernel totals reconcile.
-			trace.AddFlops(trace.StageCholCP,
-				int64(k)*int64(k)*int64(k)/3+ // PotrfUpper
-					int64(k)*int64(k)*int64(n-k)+ // TrsmLeftUpperTrans
-					2*int64(n-k)*int64(n-k)*int64(k)) // Gemm
-		}
-
-		// Line 7: P-Chol-CP on the trailing Schur complement.
-		pres := cholcp.PCholCP(e, w.Slice(k, n, k, n), eps)
-		trace.AddFlops(trace.StageCholCP, int64(pres.NPiv)*int64(n-k)*int64(n-k)/3)
-		sc.End()
-		kNew := pres.NPiv
-		if kNew == 0 {
-			return nil, ErrStall
-		}
-		if fuse && k+kNew < n {
-			// Steady state: another pivoting iteration follows, so lines
-			// 8–11 fuse with the next iteration's line 3. Only the small
-			// coupling block of R′ is permuted here (line 9); the column
-			// permutation of A itself (line 8) rides inside the streaming
-			// kernel, which also solves A := A·R′⁻¹ (line 11) and emits
-			// the next Gram W := AᵀA in the same row-block pass.
-			ss := trace.Region(trace.StageSwap)
-			if k > 0 {
-				mat.PermuteColsInPlaceEngine(e, rp.Slice(0, k, k, n), pres.Perm)
-			}
-			ss.End()
-			// Line 10: assemble R′ = [R₁₁ R₁₂; 0 R₂₂].
-			rp.Slice(k, n, k, n).Copy(pres.R)
-			for j := 0; j < k; j++ {
-				fullPerm[j] = j
-			}
-			for j, v := range pres.Perm {
-				fullPerm[k+j] = k + v
-			}
-			sf := trace.Region(trace.StageFused)
-			blas.PermTrsmGramFused(e, aw, fullPerm, rp, w)
-			sf.End()
-			trace.AddFlops(trace.StageFused,
-				int64(m)*int64(n)*int64(n)+int64(m)*int64(n)*int64(n+1))
-			trace.AddBytes(trace.StageFused, 2*8*int64(m)*int64(n))
-			haveW = true
-		} else {
-			// First/last sweep or custom Gram: the unfused sequence.
-			// Lines 8–9: permute the trailing columns of A and the
-			// coupling block of R′ consistently — the "column swaps".
-			ss := trace.Region(trace.StageSwap)
-			mat.PermuteColsInPlaceEngine(e, aw.Slice(0, m, k, n), pres.Perm)
-			if k > 0 {
-				mat.PermuteColsInPlaceEngine(e, rp.Slice(0, k, k, n), pres.Perm)
-			}
-			ss.End()
-			// Line 10: assemble R′ = [R₁₁ R₁₂; 0 R₂₂].
-			rp.Slice(k, n, k, n).Copy(pres.R)
-
-			// Line 11: A := A·R′⁻¹.
-			st := trace.Region(trace.StageTrsm)
-			blas.TrsmRightUpperNoTrans(e, aw, rp)
-			st.End()
-			trace.AddFlops(trace.StageTrsm, int64(m)*int64(n)*int64(n))
-		}
-
-		// Line 12 with the conjugation of Eq. (14): the accumulated R's
-		// trailing columns are permuted by P′ (its trailing identity block
-		// is invariant), then R := R′·R.
-		sm := trace.Region(trace.StageTrmm)
-		if k > 0 {
-			mat.PermuteColsInPlaceEngine(e, rTotal.Slice(0, k, k, n), pres.Perm)
-		}
-		blas.TrmmLeftUpperNoTrans(rp, rTotal)
-		sm.End()
-		trace.AddFlops(trace.StageTrmm, int64(n)*int64(n)*int64(n))
-
-		// Lines 13–14: accumulate the permutation P := P·P″.
-		for j := 0; j < kNew; j++ {
-			res.PivotIter[k+j] = iter
-		}
-		applyTrailingPerm(perm, k, pres.Perm)
-
-		k += kNew
-		res.Iterations = iter + 1
-		res.PivotCounts = append(res.PivotCounts, kNew)
-		if iterCB != nil {
-			iterCB(iter, kNew, perm.Clone())
-		}
-	}
-
-	// Line 17: reorthogonalization by one plain CholQR pass (its Gram,
-	// Cholesky, and TRSM phases are attributed inside CholQRInPlaceGram).
-	if err := e.Err(); err != nil {
-		return nil, err
-	}
-	rre, err := CholQRInPlaceGram(e, aw, gram)
+	aw := a.Clone() // A^(i), updated in place; becomes Q
+	sw := &denseSweeper{e: e, a: aw, gram: gram}
+	res, err := IteCholQRCPSweeps(e, a.Cols, sw, eps, maxIter, iterCB, fuse)
 	if err != nil {
 		return nil, err
 	}
-	sm := trace.Region(trace.StageTrmm)
-	blas.TrmmLeftUpperNoTrans(rre, rTotal) // R := R_reortho·R
-	sm.End()
-	trace.AddFlops(trace.StageTrmm, int64(n)*int64(n)*int64(n))
 	res.Q = aw
-	res.R = rTotal
-	res.Perm = perm
 	return res, nil
 }
 

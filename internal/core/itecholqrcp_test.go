@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/parallel"
 	"repro/mat"
 	"repro/metrics"
 	"repro/testmat"
@@ -295,5 +296,43 @@ func TestIteCholQRCPTiesAreDeterministic(t *testing.T) {
 	}
 	if !mat.EqualApprox(r1.R, r2.R, 0) {
 		t.Fatal("repeated runs must be bit-identical")
+	}
+}
+
+func TestIteCholQRCPWidthInvariant(t *testing.T) {
+	// The fixed-order kernels make the whole factorization — Q, R,
+	// pivots, iteration count — bit-identical across engine widths.
+	// This is also what lets the out-of-core path compare against any
+	// in-core run regardless of parallelism.
+	rng := rand.New(rand.NewSource(130))
+	for _, sh := range []struct{ m, n int }{{700, 12}, {5000, 24}} {
+		a := testmat.Generate(rng, sh.m, sh.n, sh.n-sh.n/4, 1e-10)
+		var ref *CPResult
+		for _, w := range []int{1, 2, 3, 8} {
+			res, err := IteCholQRCP(parallel.NewEngine(w), a, DefaultPivotTol)
+			if err != nil {
+				t.Fatalf("m=%d n=%d width %d: %v", sh.m, sh.n, w, err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if res.Iterations != ref.Iterations {
+				t.Fatalf("m=%d n=%d width %d: %d iterations, width 1 had %d",
+					sh.m, sh.n, w, res.Iterations, ref.Iterations)
+			}
+			for j, p := range res.Perm {
+				if p != ref.Perm[j] {
+					t.Fatalf("m=%d n=%d width %d: perm[%d]=%d, width 1 had %d",
+						sh.m, sh.n, w, j, p, ref.Perm[j])
+				}
+			}
+			if !mat.EqualApprox(res.R, ref.R, 0) {
+				t.Fatalf("m=%d n=%d width %d: R differs from width 1", sh.m, sh.n, w)
+			}
+			if !mat.EqualApprox(res.Q, ref.Q, 0) {
+				t.Fatalf("m=%d n=%d width %d: Q differs from width 1", sh.m, sh.n, w)
+			}
+		}
 	}
 }

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/cholcp"
+	"repro/internal/lapack"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+	"repro/mat"
+)
+
+// Sweeper abstracts the A-side of Ite-CholQR-CP (Algorithm 4): every
+// operation that touches the tall m×n working matrix, each of which is
+// one full sweep over its rows. The driver (IteCholQRCPSweeps) owns the
+// replicated W-side state — the Gram matrix, P-Chol-CP, the triangular
+// assembly, the accumulated R and permutation — and calls the sweeper
+// for the row-streaming work. Two implementations exist: the in-core
+// denseSweeper over a resident mat.Dense, and internal/ooc's file-backed
+// sweeper, which replays the identical kernel schedule one panel at a
+// time. Because the W-side is shared code and the A-side kernels commit
+// to a fixed summation shape (blas.GramFixed / the fused slot
+// reduction), both implementations produce bit-identical R, pivots, and
+// Q on the same input, across engine widths.
+//
+// Methods return an error instead of panicking because the file-backed
+// implementation can fail on I/O; the in-core sweeper never errors.
+type Sweeper interface {
+	// Gram computes w := AᵀA (full symmetric) — Algorithm 4 line 3 and
+	// the reorthogonalization pass's Gram.
+	Gram(w *mat.Dense) error
+	// FusedPivot applies the steady-state fused pass: A := (A·P)·R′⁻¹
+	// with the next iteration's w := AᵀA streamed out of the same row
+	// traversal (lines 8–11 fused with the next line 3). perm is the
+	// full-width column permutation; rp the assembled R′.
+	FusedPivot(perm mat.Perm, rp, w *mat.Dense) error
+	// Pivot is the unfused form of lines 8–11 used on the final pivoting
+	// iteration (and whenever fusion is off): permute the trailing
+	// columns [k, n) of A by tp, then solve A := A·R′⁻¹.
+	Pivot(k int, tp mat.Perm, rp *mat.Dense) error
+	// Finish applies the reorthogonalization TRSM A := A·R⁻¹ that turns
+	// the working matrix into Q. Implementations that do not materialize
+	// Q (the out-of-core sweeper without a Q destination) may skip the
+	// traversal — R and the pivots are already final.
+	Finish(r *mat.Dense) error
+}
+
+// IteCholQRCPSweeps runs the Ite-CholQR-CP driver loop over a Sweeper:
+// all Gram-matrix-side work (Cholesky on the fixed block, P-Chol-CP,
+// triangular accumulation, permutation bookkeeping) happens here on
+// n-sized replicated state, while each m-sized row traversal is
+// delegated to sw. Returns a CPResult without Q — the sweeper owns the
+// working matrix, so the caller attaches (or streams) Q itself.
+func IteCholQRCPSweeps(e *parallel.Engine, n int, sw Sweeper, eps float64, maxIter int, iterCB IterTrace, fuse bool) (*CPResult, error) {
+	if eps < 0 || eps >= 1 {
+		panic(fmt.Sprintf("core: IteCholQRCP tolerance %g outside [0,1)", eps))
+	}
+	rTotal := mat.Identity(n)   // accumulated R
+	perm := mat.IdentityPerm(n) // accumulated P
+	w := mat.NewDense(n, n)     // Gram workspace
+	rp := mat.NewDense(n, n)    // R′ workspace, reused across iterations
+	res := &CPResult{PivotIter: make([]int, n)}
+	var fullPerm mat.Perm // full-width permutation scratch for the fused pass
+	if fuse {
+		fullPerm = make(mat.Perm, n)
+	}
+
+	k := 0
+	haveW := false // true when the previous fused pass already produced W
+	for iter := 0; k < n; iter++ {
+		if iter >= maxIter {
+			return nil, ErrStall
+		}
+		// Cooperative cancellation: give up between iterations, never
+		// inside a kernel.
+		if err := e.Err(); err != nil {
+			return nil, err
+		}
+		trace.Inc(trace.CtrIterations)
+		// Line 3: W := AᵀA — unless the previous iteration's fused
+		// permute→TRSM→Gram pass already streamed it out.
+		if !haveW {
+			if err := sw.Gram(w); err != nil {
+				return nil, err
+			}
+		}
+		haveW = false
+
+		// Lines 4–7: all the Cholesky work on the Gram matrix — the fixed
+		// block factor/eliminate plus P-Chol-CP on the Schur complement.
+		sc := trace.Region(trace.StageCholCP)
+		rp.Zero()
+		if k > 0 {
+			// Lines 4–6: factor the fixed block and eliminate coupling.
+			r11 := rp.Slice(0, k, 0, k)
+			r11.Copy(w.Slice(0, k, 0, k))
+			if err := lapack.PotrfUpper(e, r11); err != nil {
+				sc.End()
+				return nil, fmt.Errorf("%w: fixed block lost definiteness: %v", ErrBreakdown, err)
+			}
+			lapack.ZeroLower(r11)
+			r12 := rp.Slice(0, k, k, n)
+			r12.Copy(w.Slice(0, k, k, n))
+			blas.TrsmLeftUpperTrans(r11, r12) // R₁₂ := R₁₁⁻ᵀ·W₁₂
+			// W̃₂₂ := W₂₂ − R₁₂ᵀ·R₁₂ (Schur complement of the fixed block).
+			w22 := w.Slice(k, n, k, n)
+			blas.Gemm(e, blas.Trans, blas.NoTrans, -1, r12, r12, 1, w22)
+			// Mirror the wrapped kernels' flop attribution at the stage
+			// level so cmd/trace-report stage and kernel totals reconcile.
+			trace.AddFlops(trace.StageCholCP,
+				int64(k)*int64(k)*int64(k)/3+ // PotrfUpper
+					int64(k)*int64(k)*int64(n-k)+ // TrsmLeftUpperTrans
+					2*int64(n-k)*int64(n-k)*int64(k)) // Gemm
+		}
+
+		// Line 7: P-Chol-CP on the trailing Schur complement.
+		pres := cholcp.PCholCP(e, w.Slice(k, n, k, n), eps)
+		trace.AddFlops(trace.StageCholCP, int64(pres.NPiv)*int64(n-k)*int64(n-k)/3)
+		sc.End()
+		kNew := pres.NPiv
+		if kNew == 0 {
+			return nil, ErrStall
+		}
+		// Lines 8–9 (coupling-block half): permute R′'s coupling block by
+		// P″ — the column permutation of A itself rides in the sweep.
+		ss := trace.Region(trace.StageSwap)
+		if k > 0 {
+			mat.PermuteColsInPlaceEngine(e, rp.Slice(0, k, k, n), pres.Perm)
+		}
+		ss.End()
+		// Line 10: assemble R′ = [R₁₁ R₁₂; 0 R₂₂].
+		rp.Slice(k, n, k, n).Copy(pres.R)
+		if fuse && k+kNew < n {
+			// Steady state: another pivoting iteration follows, so lines
+			// 8–11 fuse with the next iteration's line 3 in one traversal.
+			for j := 0; j < k; j++ {
+				fullPerm[j] = j
+			}
+			for j, v := range pres.Perm {
+				fullPerm[k+j] = k + v
+			}
+			if err := sw.FusedPivot(fullPerm, rp, w); err != nil {
+				return nil, err
+			}
+			haveW = true
+		} else {
+			// First/last sweep or fusion off: the unfused sequence —
+			// permute the trailing columns of A, then A := A·R′⁻¹.
+			if err := sw.Pivot(k, pres.Perm, rp); err != nil {
+				return nil, err
+			}
+		}
+
+		// Line 12 with the conjugation of Eq. (14): the accumulated R's
+		// trailing columns are permuted by P′ (its trailing identity block
+		// is invariant), then R := R′·R.
+		sm := trace.Region(trace.StageTrmm)
+		if k > 0 {
+			mat.PermuteColsInPlaceEngine(e, rTotal.Slice(0, k, k, n), pres.Perm)
+		}
+		blas.TrmmLeftUpperNoTrans(rp, rTotal)
+		sm.End()
+		trace.AddFlops(trace.StageTrmm, int64(n)*int64(n)*int64(n))
+
+		// Lines 13–14: accumulate the permutation P := P·P″.
+		for j := 0; j < kNew; j++ {
+			res.PivotIter[k+j] = iter
+		}
+		applyTrailingPerm(perm, k, pres.Perm)
+
+		k += kNew
+		res.Iterations = iter + 1
+		res.PivotCounts = append(res.PivotCounts, kNew)
+		if iterCB != nil {
+			iterCB(iter, kNew, perm.Clone())
+		}
+	}
+
+	// Line 17: reorthogonalization by one plain CholQR pass — Gram,
+	// Cholesky, and the final TRSM that produces Q (delegated to the
+	// sweeper, which may skip it when Q is not materialized).
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	if err := sw.Gram(w); err != nil {
+		return nil, err
+	}
+	if debugChecksEnabled {
+		debugCheckFinite("CholQR Gram matrix", w)
+	}
+	sc := trace.Region(trace.StageCholCP)
+	err := lapack.PotrfUpper(e, w)
+	sc.End()
+	trace.AddFlops(trace.StageCholCP, int64(n)*int64(n)*int64(n)/3)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBreakdown, err)
+	}
+	lapack.ZeroLower(w)
+	if err := sw.Finish(w); err != nil {
+		return nil, err
+	}
+	sm := trace.Region(trace.StageTrmm)
+	blas.TrmmLeftUpperNoTrans(w, rTotal) // R := R_reortho·R
+	sm.End()
+	trace.AddFlops(trace.StageTrmm, int64(n)*int64(n)*int64(n))
+	res.R = rTotal
+	res.Perm = perm
+	return res, nil
+}
+
+// fixedGram binds the fixed-schedule Gram kernel to an engine. Unlike
+// defaultGram (blas.Gram, whose summation shape follows the engine
+// width), blas.GramFixed commits to the fused pass's slot schedule, so
+// IteCholQRCP's results are bit-identical across engine widths and
+// match the out-of-core path's per-panel reduction.
+func fixedGram(e *parallel.Engine) GramFunc {
+	return func(dst, a *mat.Dense) { blas.GramFixed(e, dst, a) }
+}
+
+// denseSweeper is the in-core Sweeper: every sweep is one kernel call on
+// the resident working matrix.
+type denseSweeper struct {
+	e    *parallel.Engine
+	a    *mat.Dense
+	gram GramFunc
+}
+
+func (s *denseSweeper) Gram(w *mat.Dense) error {
+	sg := trace.Region(trace.StageGram)
+	s.gram(w, s.a)
+	sg.End()
+	trace.AddFlops(trace.StageGram, int64(s.a.Rows)*int64(s.a.Cols)*int64(s.a.Cols+1))
+	return nil
+}
+
+func (s *denseSweeper) FusedPivot(perm mat.Perm, rp, w *mat.Dense) error {
+	m, n := s.a.Rows, s.a.Cols
+	sf := trace.Region(trace.StageFused)
+	blas.PermTrsmGramFused(s.e, s.a, perm, rp, w)
+	sf.End()
+	trace.AddFlops(trace.StageFused,
+		int64(m)*int64(n)*int64(n)+int64(m)*int64(n)*int64(n+1))
+	trace.AddBytes(trace.StageFused, 2*8*int64(m)*int64(n))
+	return nil
+}
+
+func (s *denseSweeper) Pivot(k int, tp mat.Perm, rp *mat.Dense) error {
+	m, n := s.a.Rows, s.a.Cols
+	ss := trace.Region(trace.StageSwap)
+	mat.PermuteColsInPlaceEngine(s.e, s.a.Slice(0, m, k, n), tp)
+	ss.End()
+	st := trace.Region(trace.StageTrsm)
+	blas.TrsmRightUpperNoTrans(s.e, s.a, rp)
+	st.End()
+	trace.AddFlops(trace.StageTrsm, int64(m)*int64(n)*int64(n))
+	return nil
+}
+
+func (s *denseSweeper) Finish(r *mat.Dense) error {
+	m, n := s.a.Rows, s.a.Cols
+	st := trace.Region(trace.StageTrsm)
+	blas.TrsmRightUpperNoTrans(s.e, s.a, r)
+	st.End()
+	trace.AddFlops(trace.StageTrsm, int64(m)*int64(n)*int64(n))
+	return nil
+}

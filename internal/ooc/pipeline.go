@@ -1,0 +1,150 @@
+package ooc
+
+import (
+	"fmt"
+	"os"
+	"time"
+	"unsafe"
+
+	"repro/internal/trace"
+	"repro/mat"
+)
+
+// source serves row panels of the current working matrix into a
+// caller-provided packed buffer, returning the payload bytes read.
+type source interface {
+	readPanel(dst *mat.Dense, lo, hi int) (int64, error)
+}
+
+// fileSource reads the immutable input file (mmap or pread, whichever
+// mat.FileMatrix negotiated).
+type fileSource struct{ fm *mat.FileMatrix }
+
+func (s fileSource) readPanel(dst *mat.Dense, lo, hi int) (int64, error) {
+	return s.fm.ReadRows(dst, lo, hi)
+}
+
+// rawSource reads the headerless scratch file: raw host-order float64
+// rows, row-major. Scratch never leaves the process, so no byte-order
+// translation is ever needed.
+type rawSource struct {
+	f    *os.File
+	cols int
+}
+
+func (s rawSource) readPanel(dst *mat.Dense, lo, hi int) (int64, error) {
+	nvals := (hi - lo) * s.cols
+	off := 8 * int64(lo) * int64(s.cols)
+	if _, err := s.f.ReadAt(f64Bytes(dst.Data[:nvals]), off); err != nil {
+		return 0, fmt.Errorf("ooc: reading scratch rows [%d,%d): %w", lo, hi, err)
+	}
+	return int64(8) * int64(nvals), nil
+}
+
+// f64Bytes is the raw byte view of a float64 slice (host byte order) —
+// used only for the process-private scratch file. It sits on every
+// panel read and write of every sweep, so it must stay allocation-free.
+//
+//repolint:hotpath
+func f64Bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 8*len(s))
+}
+
+// prefetched is one filled panel hand-off from the reader goroutine.
+type prefetched struct {
+	backing *mat.Dense // the full-height buffer to recycle
+	view    *mat.Dense // backing sliced to the panel's rows
+	p       panel
+	err     error
+}
+
+// runSweep streams every panel of the sweeper's schedule through fn with
+// double-buffered prefetch: a dedicated reader goroutine (carrying the
+// sweep's engine for cooperative cancellation) fills panel k+1 while fn
+// runs the compute kernels on panel k. Each sweep is therefore exactly
+// one sequential traversal of the working matrix with a resident set of
+// two panels. The hand-off stall — the compute side arriving before its
+// next panel is ready — is counted and timed (ooc_prefetch_stalls /
+// ooc_prefetch_stall_ns), which is the direct measure of how completely
+// the pipeline hides the disk.
+//
+// runSweep returns only after the reader goroutine has exited, so
+// callers may close or unmap the source immediately afterwards on any
+// path, including errors and cancellation.
+func (s *fileSweeper) runSweep(src source, fn func(p panel, pd *mat.Dense) error) error {
+	e := s.e
+	free := make(chan *mat.Dense, 2)
+	free <- s.bufs[0]
+	free <- s.bufs[1]
+	out := make(chan prefetched, 2)
+	done := make(chan struct{})
+	defer func() {
+		close(done)
+		// Drain until the reader's deferred close: its exit is what makes
+		// unmapping/closing the source safe for the caller.
+		for range out {
+		}
+	}()
+
+	go func() {
+		defer close(out)
+		for _, p := range s.sched {
+			// Cooperative cancellation between reads, mirroring the sweep
+			// loops' per-iteration e.Err() observance.
+			if err := e.Err(); err != nil {
+				select {
+				case out <- prefetched{err: err}:
+				case <-done:
+				}
+				return
+			}
+			var buf *mat.Dense
+			select {
+			case buf = <-free:
+			case <-done:
+				return
+			}
+			view := buf.Slice(0, p.hi-p.lo, 0, s.n)
+			sp := trace.Region(trace.StageOOCRead)
+			nb, err := src.readPanel(view, p.lo, p.hi)
+			sp.End()
+			trace.Add(trace.CtrOOCBytesRead, nb)
+			trace.Inc(trace.CtrOOCPanelsRead)
+			select {
+			case out <- prefetched{backing: buf, view: view, p: p, err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	for range s.sched {
+		var res prefetched
+		var ok bool
+		select {
+		case res, ok = <-out:
+		default:
+			t0 := time.Now()
+			res, ok = <-out
+			trace.Inc(trace.CtrOOCPrefetchStalls)
+			trace.Add(trace.CtrOOCPrefetchStallNs, time.Since(t0).Nanoseconds())
+		}
+		if !ok {
+			return fmt.Errorf("ooc: prefetch pipeline closed early")
+		}
+		if res.err != nil {
+			return res.err
+		}
+		if err := fn(res.p, res.view); err != nil {
+			return err
+		}
+		free <- res.backing
+	}
+	return nil
+}

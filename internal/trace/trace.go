@@ -70,6 +70,13 @@ const (
 	// StageAllreduce is the distributed Gram Allreduce (the only
 	// collective on the Ite-CholQR-CP critical path).
 	StageAllreduce
+	// StageOOCRead is the disk time of the out-of-core path: the prefetch
+	// goroutine's panel reads (and scratch writes) of the file-backed
+	// working matrix. It deliberately does NOT appear in StageRows: the
+	// reads overlap compute by design, so the time is not additive with
+	// the other stages — compare it against StageTotal to judge how well
+	// the prefetch pipeline hides the disk.
+	StageOOCRead
 	// StageTotal is the end-to-end factorization (tsqrcp entry points).
 	StageTotal
 
@@ -99,7 +106,7 @@ const (
 
 var stageNames = [numStages]string{
 	"Gram", "CholCP", "TRSM", "Swap", "Trmm", "Fused", "Sketch", "Precond",
-	"Allreduce", "Total",
+	"Allreduce", "OOCRead", "Total",
 	"kernel/gemm", "kernel/syrk", "kernel/trsm", "kernel/trmm",
 	"kernel/potrf", "kernel/geqrf", "kernel/geqp3", "kernel/pcholcp",
 	"kernel/fused_trsm_gram", "kernel/sketch",
@@ -168,6 +175,22 @@ const (
 	// CtrServeBatches counts bucket flushes dispatched through
 	// Engine.QRCPBatch (each flush is one batch of same-shape jobs).
 	CtrServeBatches
+	// CtrOOCBytesRead counts payload bytes read from disk by the
+	// out-of-core path (input file + scratch re-reads). One full Gram
+	// sweep over an m×n file-backed matrix adds exactly 8·m·n, so
+	// sweeps-per-factorization is directly auditable from this counter.
+	CtrOOCBytesRead
+	// CtrOOCPanelsRead counts row panels delivered by the prefetch
+	// pipeline.
+	CtrOOCPanelsRead
+	// CtrOOCPrefetchStalls counts panel hand-offs where the compute side
+	// arrived before the prefetched panel was ready (the pipeline failed
+	// to hide that read).
+	CtrOOCPrefetchStalls
+	// CtrOOCPrefetchStallNs accumulates the nanoseconds the compute side
+	// spent blocked waiting on those hand-offs; divided by wall time it
+	// is the prefetch-stall fraction the bench gate bounds.
+	CtrOOCPrefetchStallNs
 
 	numCounters
 )
@@ -178,6 +201,8 @@ var counterNames = [numCounters]string{
 	"sketch_fallbacks",
 	"serve_accepted", "serve_rejected_queue", "serve_rejected_tenant",
 	"serve_deadline_exceeded", "serve_batches",
+	"ooc_bytes_read", "ooc_panels_read", "ooc_prefetch_stalls",
+	"ooc_prefetch_stall_ns",
 }
 
 func (c Counter) String() string {

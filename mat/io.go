@@ -11,13 +11,37 @@ import (
 
 // Read parses a dense matrix from whitespace-separated text: one row per
 // line, blank lines and lines starting with '#' ignored. All rows must
-// have the same number of fields.
+// have the same number of fields. When r is a regular file the data
+// slice is preallocated from the file size and the first row's width,
+// avoiding append-regrowth churn on large inputs.
 func Read(r io.Reader) (*Dense, error) {
+	return readSized(r, textSizeHint(r))
+}
+
+// textSizeHint returns the number of unread bytes when r is a regular
+// file, or 0 when no cheap estimate exists.
+func textSizeHint(r io.Reader) int64 {
+	f, ok := r.(*os.File)
+	if !ok {
+		return 0
+	}
+	fi, err := f.Stat()
+	if err != nil || !fi.Mode().IsRegular() {
+		return 0
+	}
+	if pos, err := f.Seek(0, io.SeekCurrent); err == nil && pos > 0 && pos < fi.Size() {
+		return fi.Size() - pos
+	}
+	return fi.Size()
+}
+
+func readSized(r io.Reader, sizeHint int64) (*Dense, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)
 	var data []float64
 	rows, cols := 0, -1
 	for sc.Scan() {
+		rawLen := int64(len(sc.Bytes()))
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -25,6 +49,20 @@ func Read(r io.Reader) (*Dense, error) {
 		fields := strings.Fields(line)
 		if cols == -1 {
 			cols = len(fields)
+			if sizeHint > 0 {
+				// Estimate capacity assuming every row is about as wide
+				// as the first (+1 for the newline the scanner strips);
+				// the ≥2-bytes-per-value floor bounds the allocation
+				// against a hint that overshoots the real input.
+				estRows := sizeHint/(rawLen+1) + 2
+				capVals := estRows * int64(cols)
+				if ceil := sizeHint / 2; capVals > ceil {
+					capVals = ceil
+				}
+				if capVals > 0 && int64(int(capVals)) == capVals {
+					data = make([]float64, 0, int(capVals))
+				}
+			}
 		} else if len(fields) != cols {
 			return nil, fmt.Errorf("mat: ragged row %d: %d fields, want %d", rows+1, len(fields), cols)
 		}

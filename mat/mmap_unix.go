@@ -1,0 +1,26 @@
+//go:build linux || darwin
+
+package mat
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy read path in FileMatrix; platforms
+// without it use positioned reads exclusively.
+const mmapSupported = true
+
+// mmapFile maps the first size bytes of f read-only and shared.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mat: cannot map %d bytes", size)
+	}
+	if int64(int(size)) != size {
+		return nil, fmt.Errorf("mat: mapping of %d bytes exceeds address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error { return syscall.Munmap(b) }

@@ -38,8 +38,10 @@ type pendingJob struct {
 
 // bucketer size-buckets admitted jobs and flushes each bucket through
 // Engine.QRCPBatch on a fill-or-deadline trigger: a bucket dispatches
-// as soon as it holds batchSize jobs, or flushInterval after its first
-// job arrived, whichever comes first.
+// as soon as it holds batchSize jobs, or an adaptive deadline after its
+// first job arrived, whichever comes first. The deadline adapts per
+// shape key to the observed fill latency (see adaptiveInterval), with
+// the configured flushInterval as its upper clamp.
 type bucketer struct {
 	eng           *tsqrcp.Engine
 	batchSize     int
@@ -48,6 +50,9 @@ type bucketer struct {
 
 	mu      sync.Mutex
 	buckets map[shapeKey]*bucket
+	// fillEWMA estimates, per shape key, how long a bucket takes to
+	// fill — the adaptive flush deadline derives from it.
+	fillEWMA map[shapeKey]time.Duration
 
 	// dispatch tracks in-flight batch goroutines for graceful drain.
 	dispatch sync.WaitGroup
@@ -57,7 +62,61 @@ type bucketer struct {
 
 type bucket struct {
 	jobs  []*pendingJob
+	start time.Time // arrival of the bucket's first job
 	timer *time.Timer
+}
+
+const (
+	// fillHistoryMax bounds the EWMA map: a server scanned with
+	// endlessly varying shapes keeps the estimates for the first
+	// fillHistoryMax keys and treats the rest as no-history (configured
+	// interval), rather than growing without bound.
+	fillHistoryMax = 1024
+	// fillFloorDiv sets the adaptive deadline's lower clamp at
+	// flushInterval/fillFloorDiv, so a hot key never spins the timer
+	// arbitrarily fast.
+	fillFloorDiv = 16
+)
+
+// observeFill folds one fill-latency observation into the key's EWMA
+// (α = ¼). Deadline flushes observe the configured interval — the
+// censored "did not fill in time" value — so a key whose traffic dries
+// up decays back toward the configured deadline instead of keeping a
+// stale fast estimate forever. Caller holds b.mu.
+func (b *bucketer) observeFill(key shapeKey, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	old, ok := b.fillEWMA[key]
+	if !ok {
+		if len(b.fillEWMA) >= fillHistoryMax {
+			return
+		}
+		b.fillEWMA[key] = d
+		return
+	}
+	b.fillEWMA[key] = old - old/4 + d/4
+}
+
+// adaptiveInterval picks the deadline-trigger interval for a key:
+// twice the estimated fill latency — enough slack that a normally
+// filling bucket still flushes on the fill trigger — clamped to
+// [flushInterval/fillFloorDiv, flushInterval]. A key with no history
+// waits the full configured interval. The adaptation only moves the
+// latency/throughput trade-off; results are unaffected.
+func (b *bucketer) adaptiveInterval(key shapeKey) time.Duration {
+	ewma, ok := b.fillEWMA[key]
+	if !ok {
+		return b.flushInterval
+	}
+	iv := 2 * ewma
+	if floor := b.flushInterval / fillFloorDiv; iv < floor {
+		iv = floor
+	}
+	if iv > b.flushInterval {
+		iv = b.flushInterval
+	}
+	return iv
 }
 
 func newBucketer(eng *tsqrcp.Engine, batchSize int, flushInterval time.Duration, baseCtx context.Context, stats *serverStats) *bucketer {
@@ -67,6 +126,7 @@ func newBucketer(eng *tsqrcp.Engine, batchSize int, flushInterval time.Duration,
 		flushInterval: flushInterval,
 		baseCtx:       baseCtx,
 		buckets:       make(map[shapeKey]*bucket),
+		fillEWMA:      make(map[shapeKey]time.Duration),
 		stats:         stats,
 	}
 }
@@ -102,6 +162,9 @@ func (b *bucketer) enqueue(j *pendingJob) {
 		b.buckets[key] = bk
 	}
 	bk.jobs = append(bk.jobs, j)
+	if len(bk.jobs) == 1 {
+		bk.start = time.Now()
+	}
 	if len(bk.jobs) >= b.batchSize {
 		jobs := bk.jobs
 		bk.jobs = nil
@@ -110,13 +173,14 @@ func (b *bucketer) enqueue(j *pendingJob) {
 			bk.timer = nil
 		}
 		delete(b.buckets, key)
+		b.observeFill(key, time.Since(bk.start))
 		b.stats.flushFull.Add(1)
 		b.spawn(key, jobs)
 		b.mu.Unlock()
 		return
 	}
 	if len(bk.jobs) == 1 {
-		bk.timer = time.AfterFunc(b.flushInterval, func() { b.flushKey(key) })
+		bk.timer = time.AfterFunc(b.adaptiveInterval(key), func() { b.flushKey(key) })
 	}
 	b.mu.Unlock()
 }
@@ -133,6 +197,7 @@ func (b *bucketer) flushKey(key shapeKey) {
 	jobs := bk.jobs
 	bk.jobs = nil
 	delete(b.buckets, key)
+	b.observeFill(key, b.flushInterval)
 	b.stats.flushDeadline.Add(1)
 	b.spawn(key, jobs)
 	b.mu.Unlock()

@@ -161,6 +161,95 @@ func TestManyConcurrentClients(t *testing.T) {
 	}
 }
 
+// TestAdaptiveIntervalEWMA exercises the fill-latency estimator
+// directly: no history waits the configured interval, fast fills pull
+// the deadline down to the floor clamp, censored (deadline) flushes
+// decay it back up, and the history map is bounded.
+func TestAdaptiveIntervalEWMA(t *testing.T) {
+	const iv = time.Second
+	b := newBucketer(tsqrcp.DefaultEngine(), 4, iv, context.Background(), &serverStats{})
+	key := shapeKey{m: 100, n: 8}
+
+	if got := b.adaptiveInterval(key); got != iv {
+		t.Fatalf("no history: interval = %v, want %v", got, iv)
+	}
+	b.observeFill(key, 2*time.Millisecond)
+	if got, floor := b.adaptiveInterval(key), iv/fillFloorDiv; got != floor {
+		t.Fatalf("fast fills: interval = %v, want floor %v", got, floor)
+	}
+	// Censored observations (bucket never filled) walk the estimate
+	// back toward the configured interval.
+	for i := 0; i < 40; i++ {
+		b.observeFill(key, iv)
+	}
+	if got := b.adaptiveInterval(key); got != iv {
+		t.Fatalf("after decay: interval = %v, want clamp %v", got, iv)
+	}
+	// Mid-range estimate is used as-is (2× slack, inside the clamps).
+	key2 := shapeKey{m: 200, n: 8}
+	b.observeFill(key2, 300*time.Millisecond)
+	if got := b.adaptiveInterval(key2); got != 600*time.Millisecond {
+		t.Fatalf("mid estimate: interval = %v, want 600ms", got)
+	}
+	// Bounded history: keys beyond the cap fall back to the configured
+	// interval instead of growing the map.
+	for i := 0; i < fillHistoryMax+10; i++ {
+		b.observeFill(shapeKey{m: 1000 + i, n: 4}, time.Millisecond)
+	}
+	if len(b.fillEWMA) > fillHistoryMax {
+		t.Fatalf("history map grew to %d, cap is %d", len(b.fillEWMA), fillHistoryMax)
+	}
+	over := shapeKey{m: 1000 + fillHistoryMax + 100, n: 4}
+	if got := b.adaptiveInterval(over); got != iv {
+		t.Fatalf("over-cap key: interval = %v, want %v", got, iv)
+	}
+}
+
+// TestAdaptiveDeadlineFlush: once fill flushes have seeded a key's
+// estimate, a lone job on that key dispatches orders of magnitude
+// sooner than the configured interval.
+func TestAdaptiveDeadlineFlush(t *testing.T) {
+	const iv = 5 * time.Second
+	srv := startServer(t, Config{BatchSize: 2, FlushInterval: iv})
+	c := dialServer(t, srv)
+	rng := rand.New(rand.NewSource(26))
+	a := randMat(rng, 200, 8)
+
+	// Two quick fill flushes seed the EWMA with millisecond-scale fills.
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, errs[i] = c.Factor(context.Background(), Request{A: a})
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("seed round %d job %d: %v", round, i, err)
+			}
+		}
+	}
+
+	// The lone job's bucket never fills; with the configured interval it
+	// would park for 5s, with the adapted one it flushes at the floor
+	// clamp (iv/16 ≈ 312ms).
+	start := time.Now()
+	if _, err := c.Factor(context.Background(), Request{A: a}); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed >= iv/2 {
+		t.Fatalf("lone job took %v — deadline did not adapt below the configured %v", elapsed, iv)
+	}
+	if st := srv.Stats(); st.FlushDeadline != 1 {
+		t.Errorf("flush_deadline = %d, want 1", st.FlushDeadline)
+	}
+}
+
 // TestDrainTimeoutCancels: a Shutdown context that expires mid-job
 // cancels the engine cooperatively and the job still gets a terminal
 // response (shutting-down or deadline, never a hang).
